@@ -1,0 +1,55 @@
+"""Application-layer bench: what synchronization quality buys.
+
+Runs the paper's motivating IBSS workloads (power save, FHSS, slotted
+QoS) over measured TSF and SSTSP clock traces and asserts the
+application-level ordering: SSTSP's tighter clocks mean smaller safe ATIM
+windows (energy), less hop-boundary loss (airtime) and smaller TDMA
+guards (capacity).
+"""
+
+from __future__ import annotations
+
+from conftest import paper_rows
+
+from repro.apps import (
+    evaluate_fhss,
+    evaluate_power_save,
+    evaluate_tdma,
+)
+from repro.experiments.scenarios import quick_spec
+from repro.fastlane import run_sstsp_vectorized, run_tsf_vectorized
+
+
+def _run_both():
+    spec = quick_spec(60, seed=11, duration_s=30.0)
+    tsf = run_tsf_vectorized(spec, keep_values=True).trace.window(5e6, 31e6)
+    sstsp = run_sstsp_vectorized(spec, keep_values=True).trace.window(5e6, 31e6)
+    return tsf, sstsp
+
+
+def test_applications_of_synchronization(benchmark):
+    tsf, sstsp = benchmark.pedantic(_run_both, rounds=1, iterations=1)
+    ps = {"tsf": evaluate_power_save(tsf), "sstsp": evaluate_power_save(sstsp)}
+    fh = {"tsf": evaluate_fhss(tsf), "sstsp": evaluate_fhss(sstsp)}
+    td = {"tsf": evaluate_tdma(tsf), "sstsp": evaluate_tdma(sstsp)}
+
+    assert ps["sstsp"].min_safe_window_us < ps["tsf"].min_safe_window_us
+    assert ps["sstsp"].energy_savings_vs(ps["tsf"]) > 0.2
+    assert fh["sstsp"].frame_loss_worst_pair <= fh["tsf"].frame_loss_worst_pair
+    assert td["sstsp"].min_guard_us < td["tsf"].min_guard_us
+    assert td["sstsp"].violation_rate <= td["tsf"].violation_rate
+
+    paper_rows(
+        benchmark,
+        "applications: what the sync difference buys",
+        [
+            f"power save: min safe ATIM window {ps['tsf'].min_safe_window_us:.0f}us "
+            f"(TSF) vs {ps['sstsp'].min_safe_window_us:.0f}us (SSTSP), "
+            f"{ps['sstsp'].energy_savings_vs(ps['tsf']) * 100:.0f}% awake-time saving",
+            f"FHSS: worst-pair frame loss {fh['tsf'].frame_loss_worst_pair * 100:.2f}% "
+            f"vs {fh['sstsp'].frame_loss_worst_pair * 100:.2f}%",
+            f"TDMA: min guard {td['tsf'].min_guard_us:.1f}us vs "
+            f"{td['sstsp'].min_guard_us:.1f}us "
+            f"({td['sstsp'].capacity_gain_vs(td['tsf']) * 100:.1f}% capacity gain)",
+        ],
+    )

@@ -1,0 +1,83 @@
+"""Crypto cost benches: the full uTESLA pipeline versus the modeled one.
+
+The paper argues hash-based protection is cheap enough to run per beacon
+("hash functions are three to four orders of magnitude faster than
+asymmetric operations ... performed in an on-the-fly way"). These benches
+measure the actual per-beacon sender and receiver cost of the full
+backend and the speedup of the modeled backend that the large-N sweeps
+rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import paper_rows
+
+from repro.core.backend import FullCryptoBackend, ModeledCryptoBackend
+from repro.crypto.hashchain import DenseHashChain
+from repro.crypto.mutesla import IntervalSchedule
+
+BP = 100_000.0
+N_INTERVALS = 512
+
+
+def _full_backend():
+    schedule = IntervalSchedule(0.0, BP, N_INTERVALS)
+    backend = FullCryptoBackend(schedule, np.random.default_rng(0))
+    backend.register_node(1)
+    backend.make_frame(1, 1, BP)  # materialise the chain outside the timing
+    return backend
+
+
+def test_full_pipeline_per_beacon(benchmark):
+    backend = _full_backend()
+    state = {"j": 1}
+
+    def one_beacon():
+        j = state["j"]
+        frame = backend.make_frame(1, j, j * BP)
+        verdict = backend.process(9, frame, j * BP)
+        state["j"] = 1 + (j % (N_INTERVALS - 1))
+        return verdict
+
+    verdict = benchmark(one_beacon)
+    assert verdict.accepted
+    mean_us = benchmark.stats["mean"] * 1e6
+    # "on-the-fly": far below the 100 ms BP (and even below one slot time
+    # on this host)
+    assert mean_us < 1_000.0
+    paper_rows(
+        benchmark,
+        "crypto: full uTESLA per-beacon cost",
+        [f"secure+verify one beacon: {mean_us:.1f}us on this host "
+         f"({mean_us / 100_000 * 100:.4f}% of one BP)"],
+    )
+
+
+def test_modeled_pipeline_per_beacon(benchmark):
+    schedule = IntervalSchedule(0.0, BP, N_INTERVALS)
+    backend = ModeledCryptoBackend(schedule)
+    backend.register_node(1)
+    state = {"j": 1}
+
+    def one_beacon():
+        j = state["j"]
+        frame = backend.make_frame(1, j, j * BP)
+        verdict = backend.process(9, frame, j * BP)
+        state["j"] = 1 + (j % (N_INTERVALS - 1))
+        return verdict
+
+    verdict = benchmark(one_beacon)
+    assert verdict.accepted
+
+
+def test_chain_generation(benchmark):
+    chain = benchmark(lambda: DenseHashChain(b"\x07" * 16, 10_000))
+    assert chain.length == 10_000
+    mean_ms = benchmark.stats["mean"] * 1e3
+    paper_rows(
+        benchmark,
+        "crypto: 10k-element chain generation",
+        [f"one 1000s-horizon chain: {mean_ms:.1f}ms (one-time setup cost)"],
+    )

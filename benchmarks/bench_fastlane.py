@@ -1,0 +1,72 @@
+"""Engine ablation: reference (OO) lane versus vectorised fast lane.
+
+Measures the speedup the numpy engines buy on the same scenario and
+asserts that both lanes tell the same story (steady-state errors within a
+factor) - the contract that makes the fast lane usable for the paper-
+scale figures.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import paper_rows
+
+from repro.experiments.scenarios import quick_spec
+from repro.fastlane import run_sstsp_vectorized, run_tsf_vectorized
+from repro.network.ibss import build_network
+
+SPEC = quick_spec(50, seed=3, duration_s=30.0)
+
+
+def test_sstsp_reference_lane(benchmark):
+    result = benchmark.pedantic(
+        lambda: build_network("sstsp", SPEC).run(), rounds=1, iterations=1
+    )
+    benchmark.extra_info["steady_us"] = result.trace.steady_state_error_us()
+
+
+def test_sstsp_fast_lane(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_sstsp_vectorized(SPEC), rounds=2, iterations=1
+    )
+    oo = build_network("sstsp", SPEC).run().trace.steady_state_error_us()
+    vec = result.trace.steady_state_error_us()
+    assert vec == pytest.approx(oo, rel=0.5)
+    paper_rows(
+        benchmark,
+        "fastlane: SSTSP lanes agree",
+        [f"OO steady={oo:.2f}us vec steady={vec:.2f}us"],
+    )
+
+
+def test_tsf_reference_lane(benchmark):
+    result = benchmark.pedantic(
+        lambda: build_network("tsf", SPEC).run(), rounds=1, iterations=1
+    )
+    benchmark.extra_info["steady_us"] = result.trace.steady_state_error_us()
+
+
+def test_tsf_fast_lane(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_tsf_vectorized(SPEC), rounds=2, iterations=1
+    )
+    oo = build_network("tsf", SPEC).run().trace.steady_state_error_us()
+    vec = result.trace.steady_state_error_us()
+    assert vec == pytest.approx(oo, rel=0.6)
+    paper_rows(
+        benchmark,
+        "fastlane: TSF lanes agree",
+        [f"OO steady={oo:.2f}us vec steady={vec:.2f}us"],
+    )
+
+
+def test_full_crypto_lane_cost(benchmark):
+    """OO lane with real SHA-256 uTESLA: the honest upper bound."""
+    small = quick_spec(20, seed=3, duration_s=10.0)
+    result = benchmark.pedantic(
+        lambda: build_network("sstsp", small, crypto="full").run(),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.trace.steady_state_error_us() < 12.0

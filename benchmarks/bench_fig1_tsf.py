@@ -1,0 +1,46 @@
+"""Fig. 1 bench: TSF max clock difference vs network size.
+
+Reduced scale (60 s instead of 1000 s); the shape under test is the
+paper's scalability claim: the error grows with N and sits far above the
+25 us industry threshold, driven by fastest-node starvation and beacon
+collisions.
+"""
+
+from __future__ import annotations
+
+from conftest import paper_rows
+
+from repro.analysis.metrics import INDUSTRY_THRESHOLD_US
+from repro.experiments.scenarios import quick_spec
+from repro.fastlane import run_tsf_vectorized
+
+
+def _run_fig1():
+    results = {}
+    for n in (100, 300):
+        results[n] = run_tsf_vectorized(quick_spec(n, seed=1, duration_s=60.0))
+    return results
+
+
+def test_fig1_tsf_scalability(benchmark):
+    results = benchmark.pedantic(_run_fig1, rounds=1, iterations=1)
+    err = {n: r.trace.steady_state_error_us() for n, r in results.items()}
+    peak = {n: r.trace.peak_error_us() for n, r in results.items()}
+    above = {
+        n: float((r.trace.max_diff_us > INDUSTRY_THRESHOLD_US).mean())
+        for n, r in results.items()
+    }
+    # paper shape: error grows with N, far above the 25 us expectation
+    assert err[300] > err[100]
+    assert results[300].collisions > results[100].collisions
+    assert above[100] > 0.5 and above[300] > 0.5
+    paper_rows(
+        benchmark,
+        "fig1: TSF max clock difference",
+        [
+            f"N={n}: steady={err[n]:.1f}us peak={peak[n]:.1f}us "
+            f"above-25us={above[n] * 100:.0f}% "
+            f"(paper: grows with N, 100s-1000s of us at 1000 s horizon)"
+            for n in sorted(results)
+        ],
+    )

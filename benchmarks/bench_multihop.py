@@ -1,0 +1,56 @@
+"""Extension bench: multi-hop SSTSP (the paper's future work).
+
+Measures the error-vs-hop-distance profile on a chain and checks the
+extension's qualitative contract: hop-1 at single-hop accuracy, smooth
+(amplifying) growth with depth, all stations synchronized well inside a
+beacon period.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import paper_rows
+
+from repro.multihop import MultiHopRunner, MultiHopSpec, Topology
+
+
+def _run_chain():
+    spec = MultiHopSpec(topology=Topology.chain(15), seed=3, duration_s=30.0, m=8)
+    return MultiHopRunner(spec).run()
+
+
+def test_multihop_chain_profile(benchmark):
+    result = benchmark.pedantic(_run_chain, rounds=1, iterations=1)
+    errors = result.per_hop_error_us
+    assert set(errors) == set(range(1, 15))
+    assert errors[1] < 10.0                      # single-hop accuracy
+    assert errors[14] > errors[1]                # amplification with depth
+    assert max(errors.values()) < 10_000.0       # inside 10% of a BP
+    paper_rows(
+        benchmark,
+        "multihop: error vs hop distance (chain of 15)",
+        [f"hop {h}: {errors[h]:.1f}us" for h in sorted(errors)],
+    )
+
+
+def test_multihop_unit_disk(benchmark):
+    def run_disk():
+        topology = Topology.unit_disk(
+            40, np.random.default_rng(5), area_m=1_000.0, radius_m=300.0
+        )
+        spec = MultiHopSpec(topology=topology, seed=3, duration_s=30.0)
+        return MultiHopRunner(spec).run()
+
+    result = benchmark.pedantic(run_disk, rounds=1, iterations=1)
+    # whole deployment synchronized (the odd straggler may be re-acquiring)
+    assert result.trace.present_counts[-1] >= 38
+    assert result.per_hop_error_us[1] < 10.0
+    paper_rows(
+        benchmark,
+        "multihop: unit-disk 40 stations",
+        [
+            f"hop {h}: {v:.1f}us"
+            for h, v in sorted(result.per_hop_error_us.items())
+        ],
+    )

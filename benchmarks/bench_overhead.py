@@ -1,0 +1,96 @@
+"""Section 3.4 bench: beacon and hash-chain overhead, measured.
+
+Checks the paper's accounting - 56 -> 92-byte beacons with an unchanged
+beacon count, and log2(n)-resident hash-chain service via the fractal
+traversal - against implementation-measured counters, and times the
+traversal itself.
+"""
+
+from __future__ import annotations
+
+import math
+
+from conftest import paper_rows
+
+from repro.analysis.overhead import (
+    beacon_overhead,
+    chain_storage_report,
+    receiver_buffer_bytes,
+    traffic_overhead,
+)
+from repro.crypto.fractal import FractalTraversal
+from repro.phy.params import OFDM_54MBPS
+
+CHAIN_N = 4096
+
+
+def test_beacon_overhead_accounting(benchmark):
+    def account():
+        return (
+            beacon_overhead(secure=False, phy=OFDM_54MBPS),
+            beacon_overhead(secure=True, phy=OFDM_54MBPS),
+            traffic_overhead(1000.0),
+        )
+
+    tsf, sstsp, traffic = benchmark(account)
+    assert tsf.beacon_bytes == 56 and sstsp.beacon_bytes == 92
+    assert sstsp.airtime_us_per_beacon == 63.0 and tsf.airtime_us_per_beacon == 36.0
+    assert traffic["ratio"] == 92 / 56
+    assert 300 <= receiver_buffer_bytes(2) * 2 <= 500  # paper's 300-500 B band
+    paper_rows(
+        benchmark,
+        "3.4: beacon overhead",
+        [
+            f"TSF beacon: {tsf.beacon_bytes}B / {tsf.airtime_us_per_beacon:.0f}us airtime",
+            f"SSTSP beacon: {sstsp.beacon_bytes}B / {sstsp.airtime_us_per_beacon:.0f}us airtime",
+            f"beacon count over 1000s identical: {traffic['beacons']:.0f}",
+        ],
+    )
+
+
+def test_fractal_traversal_storage_and_speed(benchmark):
+    def traverse():
+        trav = FractalTraversal(b"\x42" * 16, CHAIN_N)
+        for _ in range(CHAIN_N):
+            trav.next()
+        return trav
+
+    trav = benchmark(traverse)
+    bound = math.ceil(math.log2(CHAIN_N))
+    assert trav.max_resident <= bound + 2
+    # amortised O(log n) hashes per element
+    assert trav.hash_operations <= CHAIN_N * (bound / 2 + 2) + CHAIN_N
+    paper_rows(
+        benchmark,
+        "3.4: fractal hash-chain traversal",
+        [
+            f"n={CHAIN_N}: resident<= {trav.max_resident} elements "
+            f"(paper/[6]: ~log2(n)={bound})",
+            f"total hashes={trav.hash_operations} "
+            f"({trav.hash_operations / CHAIN_N:.1f}/element, bound "
+            f"~{bound / 2 + 2:.1f} amortised + anchor pass)",
+        ],
+    )
+
+
+def test_chain_strategy_comparison(benchmark):
+    rows = benchmark.pedantic(
+        lambda: chain_storage_report(CHAIN_N, samples=128), rounds=1, iterations=1
+    )
+    by_name = {r.strategy: r for r in rows}
+    assert by_name["dense"].resident_elements == CHAIN_N + 1
+    assert by_name["seed-only"].resident_elements == 1
+    assert by_name["fractal"].resident_elements <= math.ceil(math.log2(CHAIN_N)) + 7
+    # fractal does orders of magnitude fewer hashes than seed-only recompute
+    assert by_name["fractal"].hash_ops_for_traversal < (
+        by_name["seed-only"].hash_ops_for_traversal / 10
+    )
+    paper_rows(
+        benchmark,
+        "3.4: chain storage strategies",
+        [
+            f"{r.strategy}: {r.resident_elements} elements resident, "
+            f"{r.hash_ops_for_traversal} hashes for 128 disclosures"
+            for r in rows
+        ],
+    )

@@ -1,0 +1,58 @@
+"""Section 5's side claim: the improved TSF variants fall to the same attack.
+
+"Other protocols improving TSF are also vulnerable to the attack because
+they depend on the fast nodes to spread the timing information." The
+bench runs the channel attacker against TSF, ATSP and SATSF and checks
+that all of them desynchronize while SSTSP (same seed, same window) does
+not.
+"""
+
+from __future__ import annotations
+
+from conftest import paper_rows
+
+from repro.experiments.scenarios import quick_spec
+from repro.fastlane import run_sstsp_vectorized
+from repro.network.ibss import AttackerSpec, build_network
+from repro.sim.units import S
+
+
+def _attack_spec():
+    return quick_spec(
+        30, seed=5, duration_s=40.0,
+        attacker=AttackerSpec(start_s=10.0, end_s=30.0),
+    )
+
+
+def _phases(trace):
+    return (
+        float(trace.window(5 * S, 10 * S).max_diff_us.max()),
+        float(trace.window(12 * S, 30 * S).max_diff_us.max()),
+    )
+
+
+def test_improved_tsf_variants_also_fall(benchmark):
+    def run_all():
+        results = {}
+        for name in ("tsf", "atsp", "satsf", "tatsp"):
+            results[name] = _phases(
+                build_network(name, _attack_spec()).run().trace
+            )
+        results["sstsp"] = _phases(run_sstsp_vectorized(_attack_spec()).trace)
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    for name in ("tsf", "atsp", "satsf", "tatsp"):
+        before, during = results[name]
+        assert during > 4 * before, f"{name} should desynchronize"
+        assert during > 500.0
+    before, during = results["sstsp"]
+    assert during < 100.0  # the whole point
+    paper_rows(
+        benchmark,
+        "attack vs every protocol (before -> during, us)",
+        [
+            f"{name}: {before:.0f} -> {during:.0f}"
+            for name, (before, during) in results.items()
+        ],
+    )

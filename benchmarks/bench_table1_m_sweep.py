@@ -1,0 +1,41 @@
+"""Table 1 bench: synchronization latency & error versus m.
+
+Shape under test: latency grows monotonically with m while the error
+improves from m = 1 and flattens by m = 3 (the paper's "m = 2 or 3
+achieves the best tradeoff").
+"""
+
+from __future__ import annotations
+
+from conftest import paper_rows
+
+from repro.experiments import table1
+
+
+def _run_table1():
+    return table1.run(
+        m_values=(1, 2, 3, 4, 5), n=60, duration_s=30.0, seed=1, replicas=1
+    )
+
+
+def test_table1_m_sweep(benchmark):
+    rows = benchmark.pedantic(_run_table1, rounds=1, iterations=1)
+    latencies = [rows[m].latency_s for m in (1, 2, 3, 4, 5)]
+    errors = [rows[m].error_us for m in (1, 2, 3, 4, 5)]
+    # every m synchronizes from the +-112 us initial offsets
+    assert all(lat is not None for lat in latencies)
+    # latency increases with m (allow float noise on the sustained check)
+    assert latencies == sorted(latencies)
+    # error improves from m=1 and flattens: m=1 is the worst, m>=3 within 2x best
+    assert errors[0] == max(errors)
+    best = min(errors)
+    assert all(e < 2 * best for e in errors[2:])
+    paper_rows(
+        benchmark,
+        "table1: latency & error vs m",
+        [
+            f"m={m}: latency={rows[m].latency_s:.2f}s error={rows[m].error_us:.1f}us "
+            f"(paper: {table1.PAPER_ROWS[m][0]}s / {table1.PAPER_ROWS[m][1]:.0f}us)"
+            for m in (1, 2, 3, 4, 5)
+        ],
+    )

@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``bench_*`` module regenerates one paper table/figure (or an
+ablation) at a reduced-but-shape-preserving scale, asserts the paper's
+qualitative claim, attaches the reproduced rows to the benchmark record
+via ``benchmark.extra_info``, and prints them so that
+``pytest benchmarks/ --benchmark-only -s`` shows the same rows/series the
+paper reports. The full-scale reproductions live in
+``repro.experiments`` (``sstsp-experiment <name>``).
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+
+def paper_rows(benchmark, name: str, rows) -> None:
+    """Attach reproduced rows to the benchmark record and print them."""
+    rows = list(rows)
+    benchmark.extra_info[name] = rows
+    print(f"\n--- {name} ---", file=sys.stderr)
+    for row in rows:
+        print("   ", row, file=sys.stderr)

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Why microseconds matter: the paper's motivating applications, evaluated.
+
+The introduction motivates sub-25 us synchronization with three IBSS
+workloads - power saving, frequency hopping and slotted QoS. This example
+runs the same network twice (TSF vs SSTSP), feeds the measured per-node
+clocks into each application model, and prints what the synchronization
+difference buys in the application's own currency: energy, airtime,
+capacity.
+
+Run:  python examples/applications_demo.py
+"""
+
+from repro.apps import (
+    FhssConfig,
+    PowerSaveConfig,
+    TdmaConfig,
+    evaluate_fhss,
+    evaluate_power_save,
+    evaluate_tdma,
+)
+from repro.experiments.scenarios import quick_spec
+from repro.fastlane import run_sstsp_vectorized, run_tsf_vectorized
+
+
+def main() -> None:
+    spec = quick_spec(80, seed=11, duration_s=60.0)
+    print("network: 80 stations, 60 s, +-100 ppm oscillators\n")
+    tsf = run_tsf_vectorized(spec, keep_values=True).trace
+    sstsp = run_sstsp_vectorized(spec, keep_values=True).trace
+    # discard the bootstrap transient: applications run on a formed network
+    tsf = tsf.window(10e6, 61e6)
+    sstsp = sstsp.window(10e6, 61e6)
+    print(f"measured sync (steady max clock difference): "
+          f"TSF={tsf.steady_state_error_us():.1f} us, "
+          f"SSTSP={sstsp.steady_state_error_us():.1f} us\n")
+
+    # -- power save ------------------------------------------------------
+    ps_config = PowerSaveConfig(atim_window_us=2_000.0)
+    ps_tsf = evaluate_power_save(tsf, ps_config)
+    ps_sstsp = evaluate_power_save(sstsp, ps_config)
+    print("1) IBSS power save (ATIM window 2 ms, BP 100 ms)")
+    for name, report in (("TSF", ps_tsf), ("SSTSP", ps_sstsp)):
+        print(f"   {name:<6} wake misalignment median={report.median_misalignment_us:7.1f} us"
+              f"  max={report.max_misalignment_us:7.1f} us"
+              f"  min safe window={report.min_safe_window_us:7.1f} us"
+              f"  duty cycle={report.min_safe_duty_cycle * 100:5.2f}%")
+    print(f"   -> SSTSP needs {ps_sstsp.energy_savings_vs(ps_tsf) * 100:.0f}% "
+          "less awake time at the minimum safe window\n")
+
+    # -- FHSS --------------------------------------------------------------
+    fh_config = FhssConfig(dwell_time_us=10_000.0)
+    fh_tsf = evaluate_fhss(tsf, fh_config)
+    fh_sstsp = evaluate_fhss(sstsp, fh_config)
+    print("2) FHSS hop alignment (dwell 10 ms, 79 channels)")
+    for name, report in (("TSF", fh_tsf), ("SSTSP", fh_sstsp)):
+        print(f"   {name:<6} worst-pair aligned airtime="
+              f"{report.aligned_fraction_worst_pair * 100:6.2f}%"
+              f"  frame loss={report.frame_loss_worst_pair * 100:5.2f}%")
+    print()
+
+    # -- TDMA / QoS --------------------------------------------------------
+    td_config = TdmaConfig(slot_payload_us=1_000.0, guard_us=25.0)
+    td_tsf = evaluate_tdma(tsf, td_config)
+    td_sstsp = evaluate_tdma(sstsp, td_config)
+    print("3) slotted QoS schedule (1 ms payload slots, 25 us guard)")
+    for name, report in (("TSF", td_tsf), ("SSTSP", td_sstsp)):
+        print(f"   {name:<6} guard violations={report.violation_rate * 100:6.2f}%"
+              f"  min guard={report.min_guard_us:7.1f} us"
+              f"  capacity efficiency at min guard="
+              f"{report.min_guard_efficiency * 100:6.2f}%")
+    print(f"   -> SSTSP carries {td_sstsp.capacity_gain_vs(td_tsf) * 100:.1f}% "
+          "more payload at safely-provisioned guards")
+
+    assert ps_sstsp.min_safe_window_us < ps_tsf.min_safe_window_us
+    assert fh_sstsp.frame_loss_worst_pair < fh_tsf.frame_loss_worst_pair
+    assert td_sstsp.min_guard_us < td_tsf.min_guard_us
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Multi-hop SSTSP: the paper's future work, running.
+
+Synchronizes three multi-hop topologies - a 20-station chain (worst-case
+diameter), a 6x6 grid, and a random unit-disk deployment - around one
+root reference, then reports the experiment single-hop SSTSP cannot
+express: synchronization error as a function of hop distance. Finishes
+with a root failover: the root leaves mid-run and an orphaned hop-1
+station takes over.
+
+Run:  python examples/multihop_demo.py
+"""
+
+import numpy as np
+
+from repro.multihop import MultiHopRunner, MultiHopSpec, Topology
+from repro.sim.units import S
+
+
+def report(name, result):
+    print(f"\n{name}: root={result.root}, "
+          f"{result.beacons_sent} beacons, "
+          f"{result.collisions_at_receivers} receiver-collisions")
+    print(f"  {'hop':>4} | {'median |c_i - c_root|':>22}")
+    for hop, error in sorted(result.per_hop_error_us.items()):
+        bar = "#" * min(60, max(1, int(np.log10(max(error, 1.0)) * 12)))
+        print(f"  {hop:>4} | {error:>18.1f} us  {bar}")
+
+
+def main() -> None:
+    print("multi-hop SSTSP (paper section 6: 'our further work includes "
+          "extending SSTSP to multi-hop ad hoc networks')")
+
+    chain = MultiHopSpec(
+        topology=Topology.chain(20), seed=3, duration_s=40.0, m=8
+    )
+    report("chain of 20 (diameter 19)", MultiHopRunner(chain).run())
+
+    grid = MultiHopSpec(topology=Topology.grid(6, 6), seed=3, duration_s=40.0)
+    report("6x6 grid", MultiHopRunner(grid).run())
+
+    disk = MultiHopSpec(
+        topology=Topology.unit_disk(
+            40, np.random.default_rng(5), area_m=1_000.0, radius_m=300.0
+        ),
+        seed=3,
+        duration_s=40.0,
+    )
+    report("unit-disk, 40 stations", MultiHopRunner(disk).run())
+
+    print("\nreading: hop-1 neighbours match single-hop SSTSP accuracy "
+          "(~2 us); each extra hop multiplies the error (a follower "
+          "tracking a follower amplifies estimate noise) - the structural "
+          "reason multi-hop synchronization is its own research problem.")
+
+    # root failover
+    spec = MultiHopSpec(topology=Topology.grid(4, 4), seed=9, duration_s=40.0)
+    runner = MultiHopRunner(spec)
+    runner.leave_at[200] = [spec.root]  # root leaves at t = 20 s
+    result = runner.run()
+    trace = result.trace
+    before = float(trace.window(15 * S, 20 * S).max_diff_us.max())
+    after = float(np.median(trace.window(30 * S, 40 * S).max_diff_us))
+    print(f"\nroot failover (4x4 grid): root {spec.root} left at 20 s; "
+          f"station {result.root} took over "
+          f"({result.root_changes} change)")
+    print(f"  network max difference: {before:.1f} us before the departure, "
+          f"{after:.1f} us (median) after")
+    print("  note: failover restores network-wide synchronization to within "
+          "a few percent of a beacon period; re-attaining microsecond "
+          "accuracy across re-hung subtrees is an open refinement "
+          "(the paper left even single-hop recovery to future work)")
+    assert result.root != spec.root
+    assert after < 0.05 * spec.beacon_period_us
+
+
+if __name__ == "__main__":
+    main()

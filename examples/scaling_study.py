@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Scaling study: synchronization error versus network size.
+
+Sweeps the network from 25 to 500 stations for both TSF and SSTSP using
+the vectorised engines (this is what they exist for) and prints the
+error-vs-N table behind the paper's scalability argument: TSF degrades
+with N while SSTSP is flat - its steady state has exactly one transmitter
+per beacon period no matter how large the network is.
+
+Run:  python examples/scaling_study.py
+"""
+
+import time
+
+from repro.experiments.scenarios import quick_spec
+from repro.fastlane import run_sstsp_vectorized, run_tsf_vectorized
+
+SIZES = (25, 50, 100, 200, 500)
+
+
+def main() -> None:
+    print(f"{'N':>5} | {'TSF steady':>11} {'TSF peak':>9} {'collisions':>10} | "
+          f"{'SSTSP steady':>12} {'SSTSP peak':>10} | {'runtime':>8}")
+    print("-" * 84)
+    for n in SIZES:
+        started = time.perf_counter()
+        spec = quick_spec(n, seed=5, duration_s=60.0)
+        tsf = run_tsf_vectorized(spec)
+        sstsp = run_sstsp_vectorized(spec)
+        elapsed = time.perf_counter() - started
+        print(
+            f"{n:>5} | {tsf.trace.steady_state_error_us():>9.1f}us "
+            f"{tsf.trace.peak_error_us():>7.1f}us {tsf.collisions:>10} | "
+            f"{sstsp.trace.steady_state_error_us():>10.2f}us "
+            f"{sstsp.trace.peak_error_us():>8.1f}us | {elapsed:>6.2f}s"
+        )
+    print("\nreading: TSF's error and collision count climb with N "
+          "(fastest-node starvation + beacon collisions, Fig. 1); SSTSP's "
+          "steady state stays at the jitter floor at every size (Fig. 2). "
+          "SSTSP's 'peak' is the bootstrap election transient.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+All project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works in offline environments where the ``wheel``
+package (required by the PEP 517 editable path) is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,49 @@
+"""SSTSP reproduction: secure & scalable time synchronization for 802.11 IBSS.
+
+This package reproduces Chen & Leneutre, *A Secure and Scalable Time
+Synchronization Protocol in IEEE 802.11 Ad Hoc Networks* (ICPP 2006).
+
+Layout
+------
+``repro.sim``
+    Discrete-event simulation kernel (event queue, seeded RNG streams).
+``repro.clocks``
+    Hardware oscillator and piecewise-linear adjusted clocks.
+``repro.phy`` / ``repro.mac``
+    OFDM PHY timing model, broadcast channel, 802.11 beacon-window MAC.
+``repro.crypto``
+    One-way hash chains, Jakobsson fractal traversal, the uTESLA broadcast
+    authentication scheme.
+``repro.security``
+    Attacker models and outlier filters (threshold, GESD).
+``repro.protocols``
+    Baseline synchronization protocols: TSF, ATSP, TATSP, SATSF, Rentel-Kunz.
+``repro.core``
+    SSTSP itself: coarse phase, reference election, (k, b) clock slewing,
+    uTESLA beacon pipeline, guard-time checks.
+``repro.network``
+    IBSS harness wiring nodes, churn and metric collection together.
+``repro.fastlane``
+    Vectorised numpy engines for large-N parameter sweeps.
+``repro.analysis``
+    Metrics, convergence bounds (Lemmas 1-2), overhead models.
+``repro.experiments``
+    One module per paper figure/table (Fig. 1-4, Table 1).
+"""
+
+from repro._version import __version__
+
+# Convenience re-exports: the surface a downstream user touches first.
+from repro.core.config import SstspConfig
+from repro.network.ibss import AttackerSpec, ScenarioSpec, build_network
+from repro.fastlane import run_sstsp_vectorized, run_tsf_vectorized
+
+__all__ = [
+    "__version__",
+    "ScenarioSpec",
+    "AttackerSpec",
+    "SstspConfig",
+    "build_network",
+    "run_sstsp_vectorized",
+    "run_tsf_vectorized",
+]

@@ -1,0 +1,49 @@
+"""Analysis: metrics, convergence bounds, overhead models.
+
+* :mod:`repro.analysis.metrics` - the paper's headline metric (maximum
+  clock difference between any two nodes, per BP), trace containers,
+  synchronization-latency extraction and the no-leap audit.
+* :mod:`repro.analysis.overhead` - traffic and storage overhead models of
+  section 3.4 (56 vs 92-byte beacons, hash-chain storage strategies,
+  receiver buffering).
+* Convergence bounds (Lemmas 1 and 2) live with the adjustment math in
+  :mod:`repro.core.adjustment`.
+"""
+
+from repro.analysis.metrics import (
+    SyncTrace,
+    TraceRecorder,
+    audit_no_leaps,
+    max_pairwise_difference,
+    sync_latency_us,
+)
+from repro.analysis.overhead import (
+    OverheadReport,
+    beacon_overhead,
+    chain_storage_report,
+    traffic_overhead,
+)
+from repro.analysis.replication import (
+    PairedComparison,
+    ReplicaSummary,
+    compare,
+    replicate,
+    summarize,
+)
+
+__all__ = [
+    "SyncTrace",
+    "TraceRecorder",
+    "max_pairwise_difference",
+    "sync_latency_us",
+    "audit_no_leaps",
+    "OverheadReport",
+    "beacon_overhead",
+    "traffic_overhead",
+    "chain_storage_report",
+    "ReplicaSummary",
+    "PairedComparison",
+    "summarize",
+    "replicate",
+    "compare",
+]

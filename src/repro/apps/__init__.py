@@ -1,0 +1,34 @@
+"""Applications of synchronized time - the paper's motivating workloads.
+
+The introduction motivates time synchronization with three IBSS
+workloads; each gets an evaluation module that consumes a per-node clock
+trace (``SyncTrace.values_us``, recorded with ``keep_values=True``) and
+turns synchronization error into the application's own currency:
+
+* :mod:`repro.apps.powersave` - IEEE 802.11 IBSS power saving: stations
+  sleep between beacons and must wake *together* for the ATIM window;
+  sync error eats window overlap, and the minimum safe window (hence the
+  energy budget) is set by the clock error.
+* :mod:`repro.apps.fhss` - the FHSS PHY: every station derives the current
+  hop channel from synchronized time; clocks off by a fraction of the
+  dwell time lose exactly that fraction of airtime at each hop boundary.
+* :mod:`repro.apps.tdma` - slotted real-time (QoS) schedules: per-slot
+  guard intervals must absorb the worst clock difference; the guard is
+  pure capacity overhead.
+"""
+
+from repro.apps.powersave import PowerSaveConfig, PowerSaveReport, evaluate_power_save
+from repro.apps.fhss import FhssConfig, FhssReport, evaluate_fhss
+from repro.apps.tdma import TdmaConfig, TdmaReport, evaluate_tdma
+
+__all__ = [
+    "PowerSaveConfig",
+    "PowerSaveReport",
+    "evaluate_power_save",
+    "FhssConfig",
+    "FhssReport",
+    "evaluate_fhss",
+    "TdmaConfig",
+    "TdmaReport",
+    "evaluate_tdma",
+]

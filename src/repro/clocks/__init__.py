@@ -1,0 +1,35 @@
+"""Clock substrate.
+
+IEEE 802.11 nodes carry a free-running hardware oscillator (modelled by
+:class:`~repro.clocks.oscillator.HardwareClock`) whose rate deviates from
+true time by up to +-0.01% (the tolerance the standard allows and the paper
+simulates). TSF manipulates a settable 64-bit microsecond counter driven by
+that oscillator (:class:`~repro.clocks.oscillator.TsfTimer`); SSTSP instead
+leaves the hardware clock untouched and maintains a piecewise-linear
+*adjusted clock* ``c(t) = k * t + b``
+(:class:`~repro.clocks.adjusted.AdjustedClock`).
+
+:class:`~repro.clocks.population.ClockPopulation` holds the rates/offsets of
+a whole network as numpy arrays for vectorised reads (used by metrics and
+the fast lane).
+"""
+
+from repro.clocks.oscillator import (
+    DEFAULT_DRIFT_PPM,
+    HardwareClock,
+    TsfTimer,
+    sample_rates,
+)
+from repro.clocks.adjusted import AdjustedClock, ClockSegment, MonotonicityError
+from repro.clocks.population import ClockPopulation
+
+__all__ = [
+    "DEFAULT_DRIFT_PPM",
+    "HardwareClock",
+    "TsfTimer",
+    "sample_rates",
+    "AdjustedClock",
+    "ClockSegment",
+    "MonotonicityError",
+    "ClockPopulation",
+]

@@ -1,0 +1,144 @@
+"""Hardware oscillators and the settable TSF timer.
+
+The paper (section 5) draws each node's relative clock frequency uniformly
+from ``[1 - 0.01%, 1 + 0.01%]``, i.e. +-100 ppm, matching the IEEE 802.11
+oscillator tolerance. Within the 1000 s simulation horizon an oscillator is
+modelled as exactly linear in true time (the paper makes the same
+assumption, footnote 2):
+
+``hw(t) = initial_offset + rate * t``
+
+The 802.11 TSF timer is a 64-bit counter incremented every microsecond of
+*local oscillator* time; TSF synchronization *sets* that counter forward.
+:class:`TsfTimer` models this with an additive adjustment on top of the
+hardware clock, and quantises reads to whole microseconds exactly like the
+hardware counter does. (A real 64-bit microsecond counter wraps after
+~584,000 years; wrap-around is therefore not modelled.)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+#: Oscillator tolerance used throughout the paper's evaluation: +-0.01%.
+DEFAULT_DRIFT_PPM: float = 100.0
+
+
+def sample_rates(
+    n: int,
+    rng: np.random.Generator,
+    drift_ppm: float = DEFAULT_DRIFT_PPM,
+) -> np.ndarray:
+    """Draw ``n`` relative clock rates uniformly from ``1 +- drift_ppm*1e-6``.
+
+    Returns a float64 array of multiplicative rates (1.0 == perfect clock).
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if drift_ppm < 0:
+        raise ValueError(f"drift_ppm must be >= 0, got {drift_ppm}")
+    span = drift_ppm * 1e-6
+    return rng.uniform(1.0 - span, 1.0 + span, size=n)
+
+
+class HardwareClock:
+    """Free-running linear oscillator: ``hw(t) = initial_offset + rate * t``.
+
+    Parameters
+    ----------
+    rate:
+        Microseconds of local time per microsecond of true time. Must be
+        positive; realistic values sit within a few hundred ppm of 1.0.
+    initial_offset:
+        Local time at true time 0, in microseconds.
+    """
+
+    __slots__ = ("rate", "initial_offset")
+
+    def __init__(self, rate: float = 1.0, initial_offset: float = 0.0) -> None:
+        if not (rate > 0.0) or math.isinf(rate):
+            raise ValueError(f"rate must be finite and > 0, got {rate}")
+        self.rate = float(rate)
+        self.initial_offset = float(initial_offset)
+
+    def read(self, true_time: float) -> float:
+        """Local oscillator time at true time ``true_time`` (microseconds)."""
+        return self.initial_offset + self.rate * true_time
+
+    def true_time_at(self, local_time: float) -> float:
+        """Invert :meth:`read`: the true time at which the oscillator shows
+        ``local_time``."""
+        return (local_time - self.initial_offset) / self.rate
+
+    def skew_ppm(self) -> float:
+        """Deviation of this oscillator's rate from true time, in ppm."""
+        return (self.rate - 1.0) * 1e6
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"HardwareClock(rate={self.rate:.9f}, "
+            f"initial_offset={self.initial_offset:.3f}us)"
+        )
+
+
+class TsfTimer:
+    """The settable 64-bit microsecond TSF counter of an 802.11 station.
+
+    Reads return whole microseconds (``floor``), mirroring the counter's
+    1 us resolution. :meth:`set_forward` implements the TSF adoption rule:
+    the timer may only ever be set to a *later* value, so the additive
+    adjustment is monotonically non-decreasing.
+    """
+
+    __slots__ = ("clock", "adjustment", "adjustments_applied")
+
+    def __init__(self, clock: HardwareClock) -> None:
+        self.clock = clock
+        self.adjustment = 0.0
+        self.adjustments_applied = 0
+
+    def read(self, true_time: float) -> int:
+        """Timer value (whole microseconds) at true time ``true_time``."""
+        return math.floor(self.raw(true_time))
+
+    def raw(self, true_time: float) -> float:
+        """Unquantised timer value at true time ``true_time``."""
+        return self.clock.read(true_time) + self.adjustment
+
+    def set_forward(self, value: float, true_time: float) -> bool:
+        """Set the timer to ``value`` if that moves it forward.
+
+        Returns True when an adjustment was applied; False when ``value`` is
+        not later than the current timer (TSF ignores such timestamps).
+        """
+        return self.set_forward_from_hw(value, self.clock.read(true_time))
+
+    def raw_from_hw(self, hw_time: float) -> float:
+        """Unquantised timer value given the *hardware clock* reading
+        ``hw_time`` (protocol drivers observe hardware time, never true
+        time)."""
+        return hw_time + self.adjustment
+
+    def set_forward_from_hw(self, value: float, hw_time: float) -> bool:
+        """:meth:`set_forward` variant taking the hardware clock reading."""
+        current = self.raw_from_hw(hw_time)
+        if value <= current:
+            return False
+        self.adjustment += value - current
+        self.adjustments_applied += 1
+        return True
+
+    def true_time_when(self, timer_value: float) -> float:
+        """True time at which the timer will read ``timer_value`` (assuming
+        no further adjustments) - used to map local TBTTs to the shared
+        time axis."""
+        return self.clock.true_time_at(timer_value - self.adjustment)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"TsfTimer(adjustment={self.adjustment:.3f}us, "
+            f"applied={self.adjustments_applied})"
+        )

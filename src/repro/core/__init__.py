@@ -1,0 +1,51 @@
+"""SSTSP - the paper's contribution.
+
+The Scalable Secure Time Synchronization Procedure replaces TSF's
+every-node beacon contention with a *reference node* elected once (via the
+TSF contention mechanism) that thereafter beacons at the start of every BP
+with no random delay, while everyone else slews a piecewise-linear
+adjusted clock toward it; beacons are authenticated with uTESLA and
+sanity-checked against a guard time.
+
+* :mod:`repro.core.config` - all protocol parameters in one dataclass.
+* :mod:`repro.core.adjustment` - the closed-form ``(k, b)`` solution of
+  equations (2)-(5).
+* :mod:`repro.core.guard` - the guard-time check.
+* :mod:`repro.core.backend` - beacon protection backends: real uTESLA
+  crypto, or a "modeled" backend preserving every accept/reject decision
+  at zero byte-level cost (for large-N sweeps; cross-validated).
+* :mod:`repro.core.coarse` - the coarse synchronization phase for joiners.
+* :mod:`repro.core.sstsp` - the per-node protocol driver / state machine.
+"""
+
+from repro.core.config import SstspConfig
+from repro.core.adjustment import (
+    AdjustmentSample,
+    paper_closed_form,
+    solve_adjustment,
+)
+from repro.core.guard import GuardPolicy, GuardStats
+from repro.core.backend import (
+    BeaconVerdict,
+    CryptoBackend,
+    FullCryptoBackend,
+    ModeledCryptoBackend,
+)
+from repro.core.coarse import CoarseSynchronizer
+from repro.core.sstsp import SstspProtocol, SstspState
+
+__all__ = [
+    "SstspConfig",
+    "AdjustmentSample",
+    "solve_adjustment",
+    "paper_closed_form",
+    "GuardPolicy",
+    "GuardStats",
+    "CryptoBackend",
+    "FullCryptoBackend",
+    "ModeledCryptoBackend",
+    "BeaconVerdict",
+    "CoarseSynchronizer",
+    "SstspProtocol",
+    "SstspState",
+]

@@ -1,0 +1,56 @@
+"""The guard-time check.
+
+SSTSP's second defence line (after uTESLA): a received timestamp whose
+difference from the local clock exceeds a threshold ``delta`` is rejected.
+Because two correct clocks cannot drift apart unboundedly within one
+beacon period, a violation signals a replayed, delayed, or (internally)
+forged beacon. The coarse phase uses a loose threshold, the fine phase a
+tight one (paper section 3.3; parameter discussion in [7], [8]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class GuardStats:
+    """Accept/reject counters of one node's guard."""
+
+    accepted: int = 0
+    rejected: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.accepted + self.rejected
+
+
+@dataclass
+class GuardPolicy:
+    """Guard-time acceptance test.
+
+    Attributes
+    ----------
+    threshold_us:
+        ``delta``: maximum tolerated ``|timestamp - local clock|``.
+    """
+
+    threshold_us: float
+    stats: GuardStats = field(default_factory=GuardStats)
+
+    def __post_init__(self) -> None:
+        if self.threshold_us <= 0:
+            raise ValueError("guard threshold must be > 0")
+
+    def check(self, est_timestamp: float, local_time: float) -> bool:
+        """True when the beacon passes; counters updated either way."""
+        ok = abs(est_timestamp - local_time) <= self.threshold_us
+        if ok:
+            self.stats.accepted += 1
+        else:
+            self.stats.rejected += 1
+        return ok
+
+    def margin(self, est_timestamp: float, local_time: float) -> float:
+        """Slack before rejection (negative when it would be rejected)."""
+        return self.threshold_us - abs(est_timestamp - local_time)

@@ -1,0 +1,65 @@
+"""Cryptographic substrate for SSTSP.
+
+* :mod:`repro.crypto.primitives` - the 128-bit hash and HMAC the paper
+  assumes ("suppose 128-bit hash values are used"), built on SHA-256.
+* :mod:`repro.crypto.hashchain` - one-way hash chains, element verification
+  against a published anchor, and the trusted anchor registry the paper's
+  section 3.2 assumes exists.
+* :mod:`repro.crypto.fractal` - fractal (log-storage, amortised log-time)
+  chain traversal in the style of Jakobsson [6], which the paper cites for
+  the storage-overhead argument of section 3.4.
+* :mod:`repro.crypto.mutesla` - the uTESLA broadcast-authentication scheme
+  [2]: interval schedule, sender-side beacon securing, receiver-side
+  delayed authentication with buffering.
+* :mod:`repro.crypto.lamport` - Lamport one-time signatures (hash-only, in
+  the paper's spirit) realising section 3.2's assumed authenticated
+  anchor distribution (:class:`~repro.crypto.lamport.AuthenticatedRegistry`).
+"""
+
+from repro.crypto.primitives import HASH_BYTES, constant_time_eq, hash128, hmac128
+from repro.crypto.hashchain import (
+    DenseHashChain,
+    HashChain,
+    HashChainRegistry,
+    SeedOnlyHashChain,
+    verify_element,
+)
+from repro.crypto.fractal import FractalHashChain, FractalTraversal
+from repro.crypto.lamport import (
+    AuthenticatedRegistry,
+    LamportPublicKey,
+    LamportSignature,
+    LamportSigner,
+)
+from repro.crypto.lamport import verify as lamport_verify
+from repro.crypto.mutesla import (
+    AuthenticatedMessage,
+    IntervalSchedule,
+    MuTeslaReceiver,
+    MuTeslaSender,
+    SecuredPacket,
+)
+
+__all__ = [
+    "HASH_BYTES",
+    "hash128",
+    "hmac128",
+    "constant_time_eq",
+    "HashChain",
+    "DenseHashChain",
+    "SeedOnlyHashChain",
+    "FractalHashChain",
+    "FractalTraversal",
+    "HashChainRegistry",
+    "verify_element",
+    "IntervalSchedule",
+    "MuTeslaSender",
+    "MuTeslaReceiver",
+    "SecuredPacket",
+    "AuthenticatedMessage",
+    "LamportSigner",
+    "LamportPublicKey",
+    "LamportSignature",
+    "lamport_verify",
+    "AuthenticatedRegistry",
+]

@@ -1,0 +1,180 @@
+"""Fractal hash-chain traversal (Jakobsson-style, paper reference [6]).
+
+A uTESLA sender discloses chain elements in order ``v_{n-1}, v_{n-2}, ...``
+(decreasing distance from the seed). Storing the whole chain costs O(n)
+memory; recomputing each element from the seed costs O(j) hashes. The
+fractal traversal of Jakobsson [6] - which the paper cites for its
+section 3.4 storage argument ("a one-way hash chain with n elements only
+requires log2(n) storage and log2(n) computation to access an element") -
+achieves O(log n) resident elements with O(log n) *amortised* hashes per
+disclosed element.
+
+This module implements the recursive-halving form of that trade-off: a
+stack of segments ``(lo, hi, v_lo)`` covering the not-yet-emitted positions.
+Emitting position ``hi - 1`` of the top segment repeatedly splits it at its
+midpoint (computing ``v_mid`` from ``v_lo``) until the top segment is a
+singleton. The stack never holds more than ``ceil(log2 n) + 1`` values and
+the total hash work over a full traversal is ``O(n log n)`` - i.e.
+``O(log n)`` amortised per element, matching the bound the paper quotes.
+Both costs are exposed as counters so the overhead benchmark can measure
+rather than assume them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.crypto.hashchain import HashChain
+from repro.crypto.primitives import HASH_BYTES, hash128
+
+
+class FractalTraversal:
+    """Emit ``(position, value)`` pairs in decreasing position order.
+
+    Parameters
+    ----------
+    seed:
+        Chain seed ``v_0``.
+    length:
+        ``n``; the traversal emits positions ``n - 1`` down to ``0``.
+        The anchor ``v_n`` is available as :attr:`anchor`.
+    hash_func:
+        One-way function (injectable for tests).
+
+    Examples
+    --------
+    >>> t = FractalTraversal(b"\\x01" * 16, 8)
+    >>> [pos for pos, _ in (t.next() for _ in range(8))]
+    [7, 6, 5, 4, 3, 2, 1, 0]
+    """
+
+    def __init__(
+        self,
+        seed: bytes,
+        length: int,
+        hash_func: Callable[[bytes], bytes] = hash128,
+    ) -> None:
+        if length < 1:
+            raise ValueError(f"length must be >= 1, got {length}")
+        self._h = hash_func
+        base = bytes(seed) if len(seed) == HASH_BYTES else hash_func(seed)
+        self._length = length
+        self.hash_operations = 0
+        self.max_resident = 1
+        # Segments (lo, hi, v_lo): positions [lo, hi) not yet emitted,
+        # ordered on the stack by increasing position range (top = highest).
+        self._stack: List[Tuple[int, int, bytes]] = [(0, length, base)]
+        self._anchor = self._advance(base, length)
+
+    @property
+    def anchor(self) -> bytes:
+        """``v_n = h^n(seed)`` (computed once at construction)."""
+        return self._anchor
+
+    @property
+    def remaining(self) -> int:
+        """Number of elements not yet emitted."""
+        return sum(hi - lo for lo, hi, _ in self._stack)
+
+    def storage_elements(self) -> int:
+        """Chain elements currently resident (the O(log n) bound)."""
+        return len(self._stack)
+
+    def next(self) -> Tuple[int, bytes]:
+        """Emit the next ``(position, value)``; positions descend from
+        ``length - 1`` to 0. Raises StopIteration when exhausted."""
+        if not self._stack:
+            raise StopIteration("traversal exhausted")
+        # Split the top segment until it is a singleton.
+        while True:
+            lo, hi, v_lo = self._stack[-1]
+            if hi - lo == 1:
+                break
+            mid = (lo + hi + 1) // 2
+            v_mid = self._advance(v_lo, mid - lo)
+            self._stack.append((mid, hi, v_mid))
+            self._stack[-2] = (lo, mid, v_lo)
+            self.max_resident = max(self.max_resident, len(self._stack))
+        lo, _, value = self._stack.pop()
+        return lo, value
+
+    def __iter__(self):
+        return self
+
+    def __next__(self) -> Tuple[int, bytes]:
+        return self.next()
+
+    def _advance(self, value: bytes, steps: int) -> bytes:
+        for _ in range(steps):
+            value = self._h(value)
+        self.hash_operations += steps
+        return value
+
+
+class FractalHashChain(HashChain):
+    """:class:`HashChain` adapter over :class:`FractalTraversal`.
+
+    uTESLA consumes keys in exactly the traversal's emission order (the
+    disclosed key of interval ``j`` is element ``n - j + 1``, so intervals
+    ``1, 2, ...`` consume positions ``n, n - 1, ...``). This adapter serves
+    that in-order access at O(log n) storage, while random access to an
+    already-emitted or far-future element falls back to recomputation from
+    the seed (counted, so benchmarks expose the penalty).
+    """
+
+    #: Emitted elements kept around to serve the uTESLA access pattern,
+    #: which revisits each position once (as the next interval's disclosed
+    #: key) right after first using it.
+    RECENT_WINDOW: int = 4
+
+    def __init__(self, seed: bytes, length: int) -> None:
+        super().__init__(seed, length)
+        self._traversal = FractalTraversal(seed, length)
+        self._base = bytes(seed) if len(seed) == HASH_BYTES else hash128(seed)
+        self._recent: dict = {length: self._traversal.anchor}
+        self.fallback_hash_operations = 0
+
+    def element(self, j: int) -> bytes:
+        if not 0 <= j <= self._length:
+            raise ValueError(f"element index must be in [0, {self._length}], got {j}")
+        if j == self._length:
+            return self._recent[self._length]  # anchor, kept forever
+        cached = self._recent.get(j)
+        if cached is not None:
+            return cached
+        # In-order service: walk the traversal forward (descending positions)
+        # until it reaches j, retaining a small window of emissions.
+        next_pos = self._next_position()
+        if next_pos is not None and j <= next_pos:
+            pos, value = self._traversal.next()
+            self._remember(pos, value)
+            while pos != j:
+                pos, value = self._traversal.next()
+                self._remember(pos, value)
+            return value
+        # Out-of-order fallback: recompute from the seed.
+        value = self._base
+        for _ in range(j):
+            value = hash128(value)
+        self.fallback_hash_operations += j
+        return value
+
+    def _remember(self, pos: int, value: bytes) -> None:
+        self._recent[pos] = value
+        if len(self._recent) > self.RECENT_WINDOW + 1:  # +1 for the anchor
+            evict = max(p for p in self._recent if p != self._length)
+            del self._recent[evict]
+
+    def storage_elements(self) -> int:
+        return self._traversal.storage_elements() + len(self._recent)
+
+    @property
+    def hash_operations(self) -> int:
+        """Total one-way-function applications spent so far."""
+        return self._traversal.hash_operations + self.fallback_hash_operations
+
+    def _next_position(self) -> Optional[int]:
+        stack = self._traversal._stack
+        if not stack:
+            return None
+        return stack[-1][1] - 1

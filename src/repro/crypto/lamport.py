@@ -1,0 +1,159 @@
+"""Lamport one-time signatures over the 128-bit hash.
+
+The paper assumes (section 3.2) that every station can distribute an
+*authenticated* hash-chain anchor - via public-key signatures, symmetric
+pre-distribution [11], or non-cryptographic channels [12]. This module
+supplies a concrete mechanism in the spirit of the paper's hash-only
+philosophy: Lamport's one-time signature scheme, built from the same
+one-way function as the chains themselves. A station publishes one
+Lamport public key out of band (e.g. at network registration), then uses
+its single signature to authenticate its chain anchor - one signature is
+exactly what anchor publication needs.
+
+Scheme (for an ``n``-bit message digest): the secret key is ``2n`` random
+values; the public key is their hashes; the signature reveals, per digest
+bit, the secret for that bit's value. Security reduces to the one-way
+function's preimage resistance; the key must never sign twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.crypto.primitives import HASH_BYTES, constant_time_eq, hash128
+
+#: Bits signed per signature (the digest width of :func:`hash128`).
+DIGEST_BITS: int = HASH_BYTES * 8
+
+
+@dataclass(frozen=True)
+class LamportPublicKey:
+    """Hashes of every secret value: ``pairs[bit][value in {0, 1}]``."""
+
+    pairs: Tuple[Tuple[bytes, bytes], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.pairs) != DIGEST_BITS:
+            raise ValueError(f"public key must cover {DIGEST_BITS} bits")
+
+    def fingerprint(self) -> bytes:
+        """A single hash committing to the whole public key."""
+        return hash128(b"".join(a + b for a, b in self.pairs))
+
+
+@dataclass(frozen=True)
+class LamportSignature:
+    """One revealed secret per digest bit."""
+
+    reveals: Tuple[bytes, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.reveals) != DIGEST_BITS:
+            raise ValueError(f"signature must reveal {DIGEST_BITS} values")
+
+
+class LamportSigner:
+    """Holder of one Lamport key pair; signs exactly once.
+
+    Parameters
+    ----------
+    rng:
+        Entropy source for the secret key.
+    """
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._secrets: List[Tuple[bytes, bytes]] = [
+            (
+                bytes(rng.integers(0, 256, HASH_BYTES, dtype=np.uint8)),
+                bytes(rng.integers(0, 256, HASH_BYTES, dtype=np.uint8)),
+            )
+            for _ in range(DIGEST_BITS)
+        ]
+        self.public_key = LamportPublicKey(
+            tuple((hash128(s0), hash128(s1)) for s0, s1 in self._secrets)
+        )
+        self._used = False
+
+    def sign(self, message: bytes) -> LamportSignature:
+        """Sign ``message``; a second call raises (one-time property)."""
+        if self._used:
+            raise RuntimeError(
+                "Lamport keys are one-time: signing twice leaks both halves"
+            )
+        self._used = True
+        digest = hash128(message)
+        reveals = tuple(
+            self._secrets[bit][_bit_of(digest, bit)] for bit in range(DIGEST_BITS)
+        )
+        return LamportSignature(reveals)
+
+
+def verify(
+    public_key: LamportPublicKey, message: bytes, signature: LamportSignature
+) -> bool:
+    """Check that ``signature`` signs ``message`` under ``public_key``."""
+    digest = hash128(message)
+    ok = True
+    for bit in range(DIGEST_BITS):
+        expected = public_key.pairs[bit][_bit_of(digest, bit)]
+        ok &= constant_time_eq(hash128(signature.reveals[bit]), expected)
+    return ok
+
+
+def _bit_of(digest: bytes, bit: int) -> int:
+    return (digest[bit // 8] >> (bit % 8)) & 1
+
+
+class AuthenticatedRegistry:
+    """Anchor registry requiring a valid Lamport signature to publish.
+
+    The deployment pre-distributes each station's Lamport *public key*
+    (or its fingerprint) by whatever out-of-band trust exists - this is
+    the one trusted step the paper also assumes. Chain anchors are then
+    publishable over the open channel: the registry verifies the one-time
+    signature before accepting.
+    """
+
+    def __init__(self) -> None:
+        self._public_keys: dict = {}
+        self._anchors: dict = {}
+
+    def enroll(self, node_id: int, public_key: LamportPublicKey) -> None:
+        """Pre-distribute a station's Lamport public key (trusted step)."""
+        existing = self._public_keys.get(node_id)
+        if existing is not None and existing != public_key:
+            raise ValueError(f"node {node_id} already enrolled a different key")
+        self._public_keys[node_id] = public_key
+
+    def publish(
+        self,
+        node_id: int,
+        anchor: bytes,
+        length: int,
+        signature: LamportSignature,
+    ) -> None:
+        """Accept a signed anchor publication over the open channel."""
+        public_key = self._public_keys.get(node_id)
+        if public_key is None:
+            raise PermissionError(f"node {node_id} is not enrolled")
+        if not verify(public_key, _anchor_message(node_id, anchor, length), signature):
+            raise PermissionError(f"bad anchor signature from node {node_id}")
+        existing = self._anchors.get(node_id)
+        if existing is not None and existing != (anchor, length):
+            raise ValueError(f"node {node_id} attempted to swap its anchor")
+        self._anchors[node_id] = (bytes(anchor), int(length))
+
+    def lookup(self, node_id: int):
+        """``(anchor, length)`` or None."""
+        return self._anchors.get(node_id)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._anchors
+
+
+def _anchor_message(node_id: int, anchor: bytes, length: int) -> bytes:
+    """Canonical byte encoding of an anchor publication."""
+    return b"ANCHOR|%d|%d|" % (node_id, length) + anchor

@@ -1,0 +1,166 @@
+"""Design-space ablations: the knobs DESIGN.md calls load-bearing.
+
+Three sweeps, each isolating one design choice of SSTSP:
+
+* **guard** - the insider attacker's sustainable drag rate is set by the
+  guard time; an over-guard shave costs it the channel (section 4's
+  argument, quantified);
+* **l** - the reference-loss patience: larger l suppresses spurious
+  elections under loss at the price of slower reaction to real departures
+  (section 3.3's stated trade-off);
+* **m** - the slewing aggressiveness: convergence latency vs noise
+  filtering vs reference-change robustness (Table 1 + Lemma 2 together).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.analysis.metrics import sync_latency_us
+from repro.core.adjustment import reference_change_ratio
+from repro.core.config import SstspConfig
+from repro.experiments.report import format_table
+from repro.experiments.scenarios import TABLE1_INITIAL_OFFSET_US, quick_spec
+from repro.fastlane import run_sstsp_vectorized
+from repro.network.churn import REFERENCE_MARKER, ChurnEvent
+from repro.network.ibss import AttackerSpec, build_network
+from repro.sim.units import S
+
+
+def sweep_guard(
+    guards_us: Sequence[float] = (150.0, 300.0, 600.0, 1_200.0),
+    shave_fraction: float = 0.15,
+    n: int = 40,
+    seed: int = 3,
+) -> Dict[float, Dict[str, float]]:
+    """Insider drag vs guard: the attacker shaves ``shave_fraction * guard``
+    per BP (safely inside the guard at every setting)."""
+    rows = {}
+    for guard in guards_us:
+        shave = shave_fraction * guard
+        spec = quick_spec(
+            n, seed=seed, duration_s=40.0,
+            attacker=AttackerSpec(start_s=10.0, end_s=30.0, shave_per_period_us=shave),
+        )
+        config = SstspConfig(m=4, guard_fine_us=guard)
+        trace = run_sstsp_vectorized(spec, config=config).trace
+        rows[guard] = {
+            "shave": shave,
+            "during_max": float(trace.window(11 * S, 30 * S).max_diff_us.max()),
+            "drag": float(trace.mean_vs_true_us[-1]),
+        }
+    return rows
+
+
+def sweep_l(
+    l_values: Sequence[int] = (1, 2, 4),
+    n: int = 60,
+    seed: int = 2,
+) -> Dict[int, Dict[str, float]]:
+    """Reference-loss patience: spurious elections and reaction time."""
+    rows = {}
+    for l in l_values:
+        spec = quick_spec(n, seed=seed, duration_s=40.0)
+        config = SstspConfig(l=l, m=l + 3)
+        result = run_sstsp_vectorized(spec, config=config)
+        # reaction to a real departure, reference lane with a forced leave
+        runner = build_network(
+            "sstsp", quick_spec(20, seed=seed, duration_s=20.0),
+            sstsp_config=SstspConfig(l=l, m=l + 3),
+        )
+        runner.churn.add(ChurnEvent(80, "leave", (REFERENCE_MARKER,)))
+        trace = runner.run().trace
+        gap = trace.window(8.0 * S, 12.0 * S)
+        rows[l] = {
+            "reference_changes": result.reference_changes,
+            "steady": result.trace.steady_state_error_us(),
+            "departure_transient": float(gap.max_diff_us.max()),
+        }
+    return rows
+
+
+def sweep_m(
+    m_values: Sequence[int] = (1, 2, 3, 4, 6),
+    n: int = 60,
+    seed: int = 1,
+) -> Dict[int, Dict[str, float]]:
+    """Aggressiveness: latency / steady error / Lemma 2 ratio."""
+    rows = {}
+    for m in m_values:
+        spec = quick_spec(
+            n, seed=seed, duration_s=30.0,
+            initial_offset_us=TABLE1_INITIAL_OFFSET_US,
+        )
+        config = SstspConfig(m=m)
+        trace = run_sstsp_vectorized(spec, config=config).trace
+        latency = sync_latency_us(trace)
+        rows[m] = {
+            "latency_s": (latency / S) if latency is not None else float("nan"),
+            "steady": trace.steady_state_error_us(),
+            "lemma2_ratio": reference_change_ratio(m, l=1),
+        }
+    return rows
+
+
+def main(argv=None) -> None:
+    """CLI entry point; prints the reproduced rows/series."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="fewer points")
+    parser.add_argument("--seed", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    guards = (300.0, 600.0) if args.quick else (150.0, 300.0, 600.0, 1_200.0)
+    print("=== Ablation: guard time vs insider drag ===")
+    rows = sweep_guard(guards_us=guards, seed=args.seed)
+    print(
+        format_table(
+            ["guard (us)", "shave (us/BP)", "max diff during (us)", "drag (us)"],
+            [
+                (f"{g:.0f}", f"{r['shave']:.0f}", f"{r['during_max']:.1f}",
+                 f"{r['drag']:.0f}")
+                for g, r in sorted(rows.items())
+            ],
+        )
+    )
+    print("reading: within-guard shaving never desynchronizes; the drag an "
+          "insider can sustain scales with the guard\n")
+
+    print("=== Ablation: l (reference-loss patience) ===")
+    l_values = (1, 4) if args.quick else (1, 2, 4)
+    rows = sweep_l(l_values=l_values, seed=args.seed)
+    print(
+        format_table(
+            ["l", "ref changes (no-loss run)", "steady (us)",
+             "departure transient (us)"],
+            [
+                (l, r["reference_changes"], f"{r['steady']:.2f}",
+                 f"{r['departure_transient']:.1f}")
+                for l, r in sorted(rows.items())
+            ],
+        )
+    )
+    print("reading: larger l suppresses spurious elections but lets the "
+          "error grow longer when the reference really leaves\n")
+
+    print("=== Ablation: m (slewing aggressiveness) ===")
+    m_values = (1, 4) if args.quick else (1, 2, 3, 4, 6)
+    rows = sweep_m(m_values=m_values, seed=args.seed)
+    print(
+        format_table(
+            ["m", "latency (s)", "steady (us)", "Lemma 2 ratio (l=1)"],
+            [
+                (m, f"{r['latency_s']:.2f}", f"{r['steady']:.1f}",
+                 f"{r['lemma2_ratio']:+.2f}")
+                for m, r in sorted(rows.items())
+            ],
+        )
+    )
+    print("reading: latency grows with m; error flattens by m~3; the "
+          "reference-change amplification vanishes at m = l + 3")
+
+
+if __name__ == "__main__":
+    main()

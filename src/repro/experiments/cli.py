@@ -1,0 +1,69 @@
+"""``sstsp-experiment``: run any (or all) paper experiments.
+
+Examples
+--------
+::
+
+    sstsp-experiment fig1 --quick
+    sstsp-experiment table1
+    sstsp-experiment all --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+from repro.experiments import (
+    ablations,
+    fig1,
+    fig2,
+    fig3,
+    fig4,
+    lemmas,
+    overhead,
+    related,
+    table1,
+)
+
+EXPERIMENTS: Dict[str, Callable[[List[str]], None]] = {
+    "fig1": fig1.main,
+    "fig2": fig2.main,
+    "fig3": fig3.main,
+    "fig4": fig4.main,
+    "table1": table1.main,
+    "overhead": overhead.main,
+    "lemmas": lemmas.main,
+    "related": related.main,
+    "ablations": ablations.main,
+}
+
+
+def main(argv=None) -> int:
+    """Dispatch one (or all) experiment reproductions."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    parser = argparse.ArgumentParser(
+        prog="sstsp-experiment",
+        description="Reproduce the SSTSP paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    args, passthrough = parser.parse_known_args(argv)
+    if args.experiment == "all":
+        for name in (
+            "fig1", "fig2", "table1", "fig3", "fig4",
+            "overhead", "lemmas", "related", "ablations",
+        ):
+            print(f"\n{'#' * 70}\n# {name}\n{'#' * 70}")
+            EXPERIMENTS[name](passthrough)
+        return 0
+    EXPERIMENTS[args.experiment](passthrough)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

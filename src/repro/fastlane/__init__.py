@@ -1,0 +1,32 @@
+"""Vectorised simulation engines for large-N parameter sweeps.
+
+The object-oriented lane (:mod:`repro.network`) is the readable reference
+implementation; these engines re-express the per-BP inner loop as numpy
+array operations over all nodes at once (per the optimisation guides:
+first make it work and tested, then vectorise the measured hot loop).
+
+Differences from the reference lane - deliberate, documented
+approximations that do not change any reported curve's shape:
+
+* contention uses the classic slot-granular "unique minimum slot wins"
+  rule instead of the carrier-sense cascade (the cascade's extra late
+  successes are rare at the paper's parameters);
+* SSTSP beacon protection uses the modeled backend's decision logic
+  inlined (the decisions are what matters; the backends are proven
+  equivalent in ``tests/test_core_backend.py``);
+* beacons are processed at slot-quantised rather than skew-exact times.
+
+``tests/test_fastlane.py`` cross-validates both engines against the
+reference lane statistically, and ``benchmarks/bench_fastlane.py``
+measures the speedup.
+"""
+
+from repro.fastlane.tsf_vec import VectorTsfResult, run_tsf_vectorized
+from repro.fastlane.sstsp_vec import VectorSstspResult, run_sstsp_vectorized
+
+__all__ = [
+    "run_tsf_vectorized",
+    "run_sstsp_vectorized",
+    "VectorTsfResult",
+    "VectorSstspResult",
+]

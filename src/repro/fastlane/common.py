@@ -1,0 +1,177 @@
+"""Shared plumbing of the vectorised engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.clocks.population import ClockPopulation
+from repro.network.churn import ChurnSchedule, REFERENCE_MARKER
+from repro.network.ibss import ScenarioSpec
+from repro.sim.rng import RngRegistry
+
+
+@dataclass
+class VectorState:
+    """Clock arrays and membership shared by both vector engines."""
+
+    rates: np.ndarray
+    offsets: np.ndarray
+    present: np.ndarray  # bool mask
+    rngs: RngRegistry
+
+    @classmethod
+    def from_spec(cls, spec: ScenarioSpec, extra_nodes: int = 0) -> "VectorState":
+        rngs = RngRegistry(spec.seed)
+        population = ClockPopulation.sample(
+            spec.n + extra_nodes,
+            rngs.get("clocks"),
+            drift_ppm=spec.drift_ppm,
+            initial_offset_us=spec.initial_offset_us,
+        )
+        return cls(
+            rates=population.rates,
+            offsets=population.offsets.copy(),
+            present=np.ones(spec.n + extra_nodes, dtype=bool),
+            rngs=rngs,
+        )
+
+    @property
+    def n(self) -> int:
+        return self.rates.shape[0]
+
+    def hw_at(self, true_time: float, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Hardware clock of every node at one instant."""
+        if out is None:
+            out = np.empty_like(self.rates)
+        np.multiply(self.rates, true_time, out=out)
+        out += self.offsets
+        return out
+
+
+class ChurnDriver:
+    """Applies a :class:`ChurnSchedule` to a boolean presence mask.
+
+    ``REFERENCE_MARKER`` events are resolved through a callback supplying
+    the current reference (mirroring the reference lane's behaviour).
+    """
+
+    def __init__(self, schedule: Optional[ChurnSchedule]) -> None:
+        self._schedule = schedule
+        self._marker_left: List[int] = []
+        self.events: List[str] = []
+
+    def apply(
+        self,
+        period: int,
+        present: np.ndarray,
+        current_reference,
+        on_leave=None,
+        on_return=None,
+    ) -> None:
+        """Apply the events due at ``period`` to the presence mask."""
+        if self._schedule is None:
+            return
+        for event in self._schedule.events_for(period):
+            for node_id in event.node_ids:
+                resolved = self._resolve(node_id, event.action, current_reference)
+                if resolved is None or not 0 <= resolved < present.shape[0]:
+                    continue
+                if event.action == "leave" and present[resolved]:
+                    present[resolved] = False
+                    self.events.append(f"p{period}: node {resolved} left")
+                    if on_leave is not None:
+                        on_leave(resolved)
+                elif event.action == "return" and not present[resolved]:
+                    present[resolved] = True
+                    self.events.append(f"p{period}: node {resolved} returned")
+                    if on_return is not None:
+                        on_return(resolved)
+
+    def _resolve(self, node_id: int, action: str, current_reference) -> Optional[int]:
+        if node_id != REFERENCE_MARKER:
+            return node_id
+        if action == "leave":
+            ref = current_reference()
+            if ref is None or ref < 0:
+                return None
+            self._marker_left.append(ref)
+            return ref
+        if self._marker_left:
+            return self._marker_left.pop(0)
+        return None
+
+
+def unique_min_slot_winner(
+    slots: np.ndarray, contenders: np.ndarray
+) -> Tuple[Optional[int], bool]:
+    """Vectorised "unique minimum slot wins" rule.
+
+    Parameters
+    ----------
+    slots:
+        Slot draw per node (only entries where ``contenders`` is True are
+        meaningful).
+    contenders:
+        Boolean mask of contending nodes.
+
+    Returns
+    -------
+    (winner, collided):
+        Winner index or None; whether the minimum slot was contested.
+
+    Notes
+    -----
+    This rule is kept for ablation (``bench_ablation_contention``): with
+    exact slot ties it under-estimates beacon successes badly at large N
+    (every election collides forever), which is why the engines use
+    :func:`resolve_window` - the carrier-sense cascade over skew-exact
+    times - by default.
+    """
+    idx = np.flatnonzero(contenders)
+    if idx.size == 0:
+        return None, False
+    contender_slots = slots[idx]
+    min_slot = contender_slots.min()
+    holders = idx[contender_slots == min_slot]
+    if holders.size == 1:
+        return int(holders[0]), False
+    return None, True
+
+
+def resolve_window(
+    ids: np.ndarray,
+    times: np.ndarray,
+    airtime_us: float,
+    cca_us: float,
+) -> Tuple[Optional[int], Optional[float], int]:
+    """Run the reference-lane contention cascade over vectorised candidates.
+
+    Parameters
+    ----------
+    ids, times:
+        Candidate station indices and their scheduled transmission times
+        (true-time axis, so clock skew is honoured - at large N this skew
+        is what eventually de-quantises colliding transmissions and lets
+        an election conclude).
+
+    Returns
+    -------
+    (winner, tx_start, collisions):
+        Winning station (or None), the actual start time of its successful
+        transmission (deferrals may shift it), and the number of collided
+        transmissions in the window.
+    """
+    from repro.mac.contention import resolve_contention
+
+    if ids.size == 0:
+        return None, None, 0
+    result = resolve_contention(
+        list(zip(ids.tolist(), times.tolist())), airtime_us, cca_us
+    )
+    success = result.first_success
+    if success is None:
+        return None, None, result.collisions
+    return success.members[0], success.start_us, result.collisions

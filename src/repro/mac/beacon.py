@@ -1,0 +1,64 @@
+"""Beacon frame types.
+
+``BeaconFrame`` is the plain TSF beacon: a timestamp taken *below the MAC
+layer* at transmission start (paper section 3.2 assumes this, removing
+medium-access waiting time from the end-to-end delay) plus identification.
+``SecureBeaconFrame`` is SSTSP's ``<B, j, HMAC_{K_j}(B, j), K_{j-1}>``:
+the original beacon, the uTESLA interval index, the MAC tag computed under
+the (not yet disclosed) key of interval ``j``, and the disclosed key of the
+previous interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.phy.params import SSTSP_BEACON_BYTES, TSF_BEACON_BYTES
+
+
+@dataclass(frozen=True)
+class BeaconFrame:
+    """A TSF synchronization beacon.
+
+    Attributes
+    ----------
+    sender:
+        Station id of the transmitter.
+    timestamp_us:
+        The transmitter's clock value at transmission start (TSF timer for
+        TSF; adjusted clock for SSTSP), in microseconds.
+    size_bytes:
+        On-air size, for overhead accounting.
+    """
+
+    sender: int
+    timestamp_us: float
+    size_bytes: int = TSF_BEACON_BYTES
+
+    def payload_for_mac(self) -> bytes:
+        """Canonical byte encoding of the fields a MAC tag must cover."""
+        return f"B|{self.sender}|{self.timestamp_us:.6f}".encode()
+
+
+@dataclass(frozen=True)
+class SecureBeaconFrame:
+    """An SSTSP beacon: ``<B, j, HMAC(B, j), disclosed key of interval j-1>``."""
+
+    sender: int
+    timestamp_us: float
+    interval: int
+    mac_tag: bytes
+    disclosed_key: bytes
+    size_bytes: int = SSTSP_BEACON_BYTES
+
+    def inner(self) -> BeaconFrame:
+        """The unsecured beacon ``B`` carried inside."""
+        return BeaconFrame(
+            sender=self.sender,
+            timestamp_us=self.timestamp_us,
+            size_bytes=self.size_bytes,
+        )
+
+    def payload_for_mac(self) -> bytes:
+        """Byte encoding of ``(B, j)`` - the data the HMAC tag covers."""
+        return self.inner().payload_for_mac() + f"|{self.interval}".encode()

@@ -1,0 +1,186 @@
+"""Beacon-window contention resolution.
+
+One beacon window is resolved on the real time axis: every candidate
+``(station, scheduled_tx_time)`` - the time its backoff timer expires as
+measured in *true* time, so clock skew between stations is honoured - is
+processed in time order under three rules:
+
+1. **Cancel on reception** (802.11 TSF rule): a station whose timer expires
+   at or after the end of an earlier *successful* transmission cancels its
+   pending beacon.
+2. **Carrier sense**: a station whose timer expires while the medium is
+   busy, but more than ``cca_us`` after the busy transmission started,
+   defers to the end of the busy period.
+3. **Collision**: stations starting within ``cca_us`` of an ongoing
+   transmission's start are inside the carrier-sense vulnerability window
+   and garble it; none of the colliding frames is received by anyone.
+
+This cascade allows several transmissions per window (collision, then a
+retry group, then possibly a late success), matching the behaviour TSF
+scalability studies model, and degenerates to the classic
+"unique-minimum-slot wins" rule when all stations share one perfect clock.
+A slot-granular shortcut of that rule (:func:`resolve_slotted`) is provided
+for the vectorised fast lane.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Transmission:
+    """One on-air transmission (possibly a collision of several frames)."""
+
+    start_us: float
+    end_us: float
+    members: Tuple[int, ...]
+
+    @property
+    def success(self) -> bool:
+        """True when exactly one station transmitted (decodable frame)."""
+        return len(self.members) == 1
+
+
+@dataclass
+class ContentionResult:
+    """Outcome of one beacon window."""
+
+    transmissions: List[Transmission] = field(default_factory=list)
+    cancelled: List[int] = field(default_factory=list)
+
+    @property
+    def winner(self) -> Optional[int]:
+        """Station whose beacon was successfully transmitted first, if any."""
+        for tx in self.transmissions:
+            if tx.success:
+                return tx.members[0]
+        return None
+
+    @property
+    def first_success(self) -> Optional[Transmission]:
+        """The first successful transmission, if any."""
+        for tx in self.transmissions:
+            if tx.success:
+                return tx
+        return None
+
+    @property
+    def collisions(self) -> int:
+        """Number of collided transmissions in the window."""
+        return sum(1 for tx in self.transmissions if not tx.success)
+
+
+def resolve_contention(
+    candidates: Sequence[Tuple[int, float]],
+    airtime_us: float,
+    cca_us: float,
+) -> ContentionResult:
+    """Resolve one beacon window.
+
+    Parameters
+    ----------
+    candidates:
+        ``(station, scheduled_tx_true_time_us)`` pairs; a station appears at
+        most once.
+    airtime_us:
+        Time one beacon occupies the medium.
+    cca_us:
+        Carrier-sense vulnerability window (see module docstring).
+
+    Notes
+    -----
+    Cancellation uses the *successful transmission* itself, not the
+    per-receiver packet-error draw - i.e. we assume the cancelling station
+    heard the beacon. With the paper's PER of 1e-4 the distinction is
+    negligible and this is the standard simplification.
+    """
+    if airtime_us <= 0 or cca_us <= 0:
+        raise ValueError("airtime_us and cca_us must be > 0")
+    seen = set()
+    for station, _ in candidates:
+        if station in seen:
+            raise ValueError(f"station {station} listed twice in contention")
+        seen.add(station)
+
+    counter = itertools.count()
+    heap: List[Tuple[float, int, int]] = []
+    for station, t in candidates:
+        heapq.heappush(heap, (float(t), next(counter), station))
+
+    result = ContentionResult()
+    cur_start: Optional[float] = None
+    cur_end = 0.0
+    cur_members: List[int] = []
+    success_done_at: Optional[float] = None
+
+    def close_group() -> None:
+        nonlocal cur_start, cur_members, success_done_at
+        if cur_start is None:
+            return
+        tx = Transmission(cur_start, cur_end, tuple(cur_members))
+        result.transmissions.append(tx)
+        if tx.success and success_done_at is None:
+            success_done_at = tx.end_us
+        cur_start = None
+        cur_members = []
+
+    while heap:
+        t, _, station = heapq.heappop(heap)
+        if cur_start is not None and t >= cur_end:
+            close_group()
+        if success_done_at is not None and t >= success_done_at:
+            result.cancelled.append(station)
+            continue
+        if cur_start is None:
+            cur_start = t
+            cur_end = t + airtime_us
+            cur_members = [station]
+        elif t - cur_start < cca_us:
+            cur_members.append(station)  # inside vulnerability window: collision
+        else:
+            # Medium sensed busy: defer to the end of the busy period.
+            heapq.heappush(heap, (cur_end, next(counter), station))
+    close_group()
+    return result
+
+
+def draw_slots(
+    stations: Sequence[int],
+    w: int,
+    rng: np.random.Generator,
+) -> Dict[int, int]:
+    """Draw one uniform backoff slot in ``[0, w]`` per station.
+
+    The standard defines the beacon generation window as ``w + 1`` slots,
+    with the delay uniform over them.
+    """
+    if w < 0:
+        raise ValueError(f"w must be >= 0, got {w}")
+    if not stations:
+        return {}
+    slots = rng.integers(0, w + 1, size=len(stations))
+    return {station: int(slot) for station, slot in zip(stations, slots)}
+
+
+def resolve_slotted(slots: Dict[int, int]) -> Tuple[Optional[int], bool]:
+    """Classic slot-granular rule: the unique minimum slot wins.
+
+    Returns ``(winner, collided)``: ``winner`` is the station holding the
+    unique smallest slot or None; ``collided`` is True when two or more
+    stations shared the smallest slot (no beacon that window). This is the
+    approximation the vectorised fast lane uses; the cascade above is the
+    reference behaviour.
+    """
+    if not slots:
+        return None, False
+    min_slot = min(slots.values())
+    holders = [s for s, slot in slots.items() if slot == min_slot]
+    if len(holders) == 1:
+        return holders[0], False
+    return None, True

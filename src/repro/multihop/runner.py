@@ -1,0 +1,607 @@
+"""The multi-hop SSTSP simulation.
+
+One designated *root* (the paper's "first node arriving in the network"
+that publishes ``T_0``) beacons at every BP exactly like the single-hop
+reference node. Every synchronized node at hop ``h`` relays inside the
+``h``-th segment of the beacon window (with a small random backoff inside
+the segment, so same-hop relayers decorrelate), letting the time wave
+cross the whole diameter within one BP. Reception is *spatial*: a station
+hears exactly its graph neighbours, overlapping transmissions from two
+audible neighbours collide at that receiver only.
+
+Receivers run the unchanged SSTSP pipeline against their best upstream
+(lowest hop, then earliest): per-relayer uTESLA material (modeled backend
+semantics), the guard time, and the (k, b) slewing of equations (2)-(5) -
+with one generalisation: the convergence target extrapolates the
+*upstream's* timestamp grid (``ts1 + (j + m - j1) * BP``) instead of the
+global ``T^{j+m}`` grid, because a relay's emission instant includes its
+hop segment and backoff. For the root's direct children the two coincide.
+
+If the root leaves, its orphaned hop-1 children run the single-hop
+election among themselves; the winner becomes the new root.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.metrics import SyncTrace, TraceRecorder
+from repro.clocks.adjusted import AdjustedClock, MonotonicityError
+from repro.clocks.population import ClockPopulation
+from repro.core.adjustment import (
+    AdjustmentSample,
+    DegenerateSamplesError,
+    solve_adjustment,
+)
+from repro.core.config import SstspConfig
+from repro.multihop.topology import Topology
+from repro.sim.rng import RngRegistry
+from repro.sim.units import S
+
+
+@dataclass(frozen=True)
+class MultiHopSpec:
+    """Scenario description for one multi-hop run."""
+
+    topology: Topology
+    seed: int = 1
+    duration_s: float = 60.0
+    beacon_period_us: float = 0.1 * S
+    drift_ppm: float = 100.0
+    initial_offset_us: float = 0.0
+    root: int = 0
+    #: Beacon-window slots reserved per hop level. Must exceed the beacon
+    #: airtime (7 slots) or adjacent hop segments overlap on the air and
+    #: collide at every station hearing both hops.
+    hop_stride_slots: int = 16
+    slot_time_us: float = 9.0
+    #: Airtime of one secure beacon (7 slots, as in single-hop SSTSP).
+    beacon_airtime_slots: int = 7
+    propagation_delay_us: float = 1.0
+    timestamp_jitter_us: float = 2.0
+    packet_error_rate: float = 1e-4
+    #: Probability a relay-eligible node transmits in a given BP. Dense
+    #: neighbourhoods benefit from thinning (fewer same-segment collisions).
+    relay_probability: float = 1.0
+    #: Multi-hop default is deeper filtering than single-hop (m = 4): each
+    #: hop tracks a *tracking* clock, so the estimator's noise gain
+    #: compounds per hop; small m amplifies it into instability.
+    m: int = 4
+    l: int = 2
+    #: Guard time grows with the sender's hop: per-hop error accumulates
+    #: roughly linearly, so a flat guard would cut off deep hops.
+    guard_fine_us: float = 500.0
+    guard_per_hop_us: float = 100.0
+    #: After this many silent periods a node discards its synchronization
+    #: state entirely and re-acquires from the first beacon it hears (the
+    #: multi-hop analogue of the recovery extension).
+    resync_after_periods: int = 10
+    k_clamp: float = 5e-3
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.root < self.topology.n:
+            raise ValueError("root must be a topology node")
+        if not 0.0 < self.relay_probability <= 1.0:
+            raise ValueError("relay_probability must be in (0, 1]")
+        if self.hop_stride_slots < 1:
+            raise ValueError("hop_stride_slots must be >= 1")
+        if self.hop_stride_slots <= self.beacon_airtime_slots:
+            raise ValueError(
+                "hop_stride_slots must exceed beacon_airtime_slots: adjacent "
+                "hop segments would overlap on the air"
+            )
+
+    @property
+    def periods(self) -> int:
+        return int(round(self.duration_s * S / self.beacon_period_us))
+
+
+@dataclass
+class _NodeState:
+    """Per-station protocol state (the multi-hop analogue of SstspProtocol)."""
+
+    clock: AdjustedClock
+    hop: Optional[int] = None  # None = not yet synchronized; 0 = root
+    upstream: Optional[int] = None
+    silent: int = 0
+    adjustments: int = 0
+    samples: List[AdjustmentSample] = field(default_factory=list)
+    pending: Optional[Tuple[int, float, float]] = None  # (interval, hw, est)
+
+    def reset_sync(self) -> None:
+        self.hop = None
+        self.upstream = None
+        self.samples.clear()
+        self.pending = None
+        self.silent = 0
+
+
+@dataclass
+class _Transmission:
+    """One on-air relay beacon.
+
+    ``timestamp`` is the sender's *normalized* time reference: its
+    adjusted-clock estimate of the period start ``T^j`` (its actual
+    emission instant is ``T^j + delay_us`` on its own clock, where
+    ``delay_us`` - hop segment plus backoff - is deterministic schedule
+    information carried in the beacon). Receivers subtract ``delay_us``
+    from the reception time too, so sample pairs sit on a clean BP grid
+    and per-period backoff never pollutes rate estimation - without this
+    normalisation the backoff jitter (~3 slots) compounds per hop and
+    blows up the deep-hop error.
+    """
+
+    sender: int
+    hop: int
+    interval: int
+    tx_true: float
+    timestamp: float
+    delay_us: float
+
+
+@dataclass
+class MultiHopResult:
+    """Outcome of one multi-hop run."""
+
+    trace: SyncTrace
+    per_hop_error_us: Dict[int, float]
+    hop_of: Dict[int, int]
+    root: int
+    root_changes: int
+    beacons_sent: int
+    collisions_at_receivers: int
+
+    def max_hop(self) -> int:
+        """Deepest hop distance present in the final tree."""
+        return max(self.hop_of.values()) if self.hop_of else 0
+
+
+class MultiHopRunner:
+    """Drives one multi-hop SSTSP network."""
+
+    def __init__(self, spec: MultiHopSpec) -> None:
+        self.spec = spec
+        self.n = spec.topology.n
+        self.rngs = RngRegistry(spec.seed)
+        population = ClockPopulation.sample(
+            self.n,
+            self.rngs.get("clocks"),
+            drift_ppm=spec.drift_ppm,
+            initial_offset_us=spec.initial_offset_us,
+        )
+        self.rates = population.rates
+        self.offsets = population.offsets
+        self.present = np.ones(self.n, dtype=bool)
+        self.nodes = [
+            _NodeState(clock=AdjustedClock(1.0, 0.0)) for _ in range(self.n)
+        ]
+        self.root = spec.root
+        self.nodes[self.root].hop = 0
+        self.root_changes = 0
+        self.beacons_sent = 0
+        self.collisions = 0
+        self._slot_rng = self.rngs.get("slots")
+        self._chan_rng = self.rngs.get("channel")
+        self._recorder = TraceRecorder()
+        self._per_hop_errors: Dict[int, List[float]] = {}
+        self._relay_phase: Dict[Tuple[int, int], int] = {}
+        #: scheduled departures: period -> list of nodes (tests/examples use
+        #: this to exercise root failover)
+        self.leave_at: Dict[int, List[int]] = {}
+        self.return_at: Dict[int, List[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Clock plumbing
+    # ------------------------------------------------------------------
+
+    def _hw_at(self, node: int, true_time: float) -> float:
+        return self.rates[node] * true_time + self.offsets[node]
+
+    def _true_at_adjusted(self, node: int, adjusted_value: float) -> float:
+        state = self.nodes[node]
+        hw = (adjusted_value - state.clock.b) / state.clock.k
+        return (hw - self.offsets[node]) / self.rates[node]
+
+    def _adjusted_at(self, node: int, true_time: float) -> float:
+        return self.nodes[node].clock.read_current(self._hw_at(node, true_time))
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> MultiHopResult:
+        """Simulate all periods; returns the result bundle."""
+        spec = self.spec
+        for period in range(1, spec.periods + 1):
+            self._apply_churn(period)
+            transmissions = self._collect_transmissions(period)
+            receptions = self._resolve_receptions(transmissions)
+            accepted = self._process_receptions(period, receptions)
+            self._end_period(period, accepted)
+            self._sample_metrics(period)
+        per_hop = {
+            hop: float(np.median(values))
+            for hop, values in sorted(self._per_hop_errors.items())
+        }
+        hop_of = self.spec.topology.hop_distances(self.root)
+        return MultiHopResult(
+            trace=self._recorder.finalize(),
+            per_hop_error_us=per_hop,
+            hop_of=hop_of,
+            root=self.root,
+            root_changes=self.root_changes,
+            beacons_sent=self.beacons_sent,
+            collisions_at_receivers=self.collisions,
+        )
+
+    # ------------------------------------------------------------------
+    # Phases of one period
+    # ------------------------------------------------------------------
+
+    def _apply_churn(self, period: int) -> None:
+        for node in self.leave_at.get(period, []):
+            if self.present[node]:
+                self.present[node] = False
+                if node == self.root:
+                    self.root = -1  # orphaned; hop-1 children will elect
+        for node in self.return_at.get(period, []):
+            if not self.present[node]:
+                self.present[node] = True
+                self.nodes[node].reset_sync()
+
+    def _relay_turn(self, node: int, period: int) -> bool:
+        """Relay scheduling with deterministic same-hop rotation.
+
+        With every same-hop station relaying every BP, dense neighbourhoods
+        collide persistently; with *random* thinning, receivers keep
+        flipping upstreams (each flip resets their sample history). A
+        deterministic rotation - each station relays every K-th period at
+        a fixed (randomly drawn, then frozen) phase - cuts collisions while
+        keeping each upstream's beacons periodic, so downstream sample
+        pairs stay within the pair-gap limit.
+
+        The rotation counts same-hop stations over the *two-hop*
+        neighbourhood: hidden terminals (same-hop stations out of carrier-
+        sense range but sharing a receiver) are exactly the pairs that
+        carrier sensing cannot separate.
+        """
+        spec = self.spec
+        if spec.relay_probability < 1.0:
+            return self._slot_rng.random() < spec.relay_probability
+        state = self.nodes[node]
+        same_hop = sum(
+            1
+            for other in spec.topology.two_hop_neighbors(node)
+            if self.present[other] and self.nodes[other].hop == state.hop
+        )
+        if same_hop == 0:
+            return True
+        cycle = min(4, 1 + same_hop)
+        return period % cycle == self._relay_phase_for(node, cycle)
+
+    def _relay_phase_for(self, node: int, cycle: int) -> int:
+        """Greedy phase coloring over the same-hop/2-hop conflict graph.
+
+        Two hidden same-hop stations with *equal* fixed phases would
+        collide forever at their common receivers; purely random per-period
+        draws starve dense neighbourhoods instead. Greedily picking the
+        phase least used by already-colored conflicting stations keeps
+        relaying periodic (downstream sample pairs stay fresh) while
+        resolving the permanent-collision cases. Phases are re-colored
+        when a station's hop (and thus its conflict set) changes.
+        """
+        state = self.nodes[node]
+        key = (node, state.hop, cycle)
+        phase = self._relay_phase.get(key)
+        if phase is not None:
+            return phase
+        used = [0] * cycle
+        for other in self.spec.topology.two_hop_neighbors(node):
+            other_state = self.nodes[other]
+            if other_state.hop != state.hop:
+                continue
+            other_phase = self._relay_phase.get((other, other_state.hop, cycle))
+            if other_phase is not None:
+                used[other_phase] += 1
+        least = min(used)
+        candidates = [p for p, count in enumerate(used) if count == least]
+        phase = candidates[node % len(candidates)]
+        self._relay_phase[key] = phase
+        return phase
+
+    def _backoff_range(self) -> int:
+        """Backoff slots usable inside a hop segment without bleeding the
+        transmission into the next segment."""
+        return max(
+            1, self.spec.hop_stride_slots - self.spec.beacon_airtime_slots
+        )
+
+    def _collect_transmissions(self, period: int) -> List[_Transmission]:
+        spec = self.spec
+        nominal = period * spec.beacon_period_us
+        out: List[_Transmission] = []
+        orphan_election = self.root < 0 or not self.present[self.root]
+        for i in range(self.n):
+            if not self.present[i]:
+                continue
+            state = self.nodes[i]
+            if i == self.root:
+                delay = 0.0
+            elif orphan_election and state.hop == 1 and state.silent >= spec.l:
+                # orphaned children of a departed root: contend in segment 0
+                slot = int(self._slot_rng.integers(0, self._backoff_range()))
+                delay = slot * spec.slot_time_us
+            elif (
+                state.hop is not None
+                and state.hop >= 1
+                and state.adjustments >= 1
+                and self._relay_turn(i, period)
+            ):
+                slot = int(self._slot_rng.integers(0, self._backoff_range()))
+                delay = (
+                    state.hop * spec.hop_stride_slots + slot
+                ) * spec.slot_time_us
+            else:
+                continue
+            tx_true = self._true_at_adjusted(i, nominal + delay)
+            # normalized reference: the sender's clock reads exactly
+            # nominal + delay at tx, so its T^j estimate is ``nominal``
+            timestamp = nominal
+            hop = 0 if i == self.root else (state.hop if state.hop is not None else 0)
+            out.append(_Transmission(i, hop, period, tx_true, timestamp, delay))
+        return self._carrier_sense(out)
+
+    def _carrier_sense(
+        self, candidates: List[_Transmission]
+    ) -> List[_Transmission]:
+        """802.11 deferral/cancellation: a relay whose backoff expires while
+        an *audible* neighbour's transmission is on the air cancels (it
+        just received that beacon). Mutually hidden transmitters still
+        collide downstream - that is physics, handled at the receivers."""
+        airtime = self.spec.beacon_airtime_slots * self.spec.slot_time_us
+        candidates.sort(key=lambda tx: tx.tx_true)
+        kept: List[_Transmission] = []
+        busy_until: Dict[int, float] = {}
+        for tx in candidates:
+            if busy_until.get(tx.sender, -math.inf) > tx.tx_true:
+                continue  # medium sensed busy: cancel this relay
+            kept.append(tx)
+            self.beacons_sent += 1
+            end = tx.tx_true + airtime
+            for neighbor in self.spec.topology.neighbors(tx.sender):
+                if end > busy_until.get(neighbor, -math.inf):
+                    busy_until[neighbor] = end
+        return kept
+
+    def _resolve_receptions(
+        self, transmissions: List[_Transmission]
+    ) -> Dict[int, List[_Transmission]]:
+        """Per-receiver spatial reception: a transmission is decoded iff no
+        other *audible* transmission overlaps it in time."""
+        spec = self.spec
+        airtime = spec.beacon_airtime_slots * spec.slot_time_us
+        by_sender: Dict[int, _Transmission] = {tx.sender: tx for tx in transmissions}
+        receptions: Dict[int, List[_Transmission]] = {}
+        per = spec.packet_error_rate
+        for receiver in range(self.n):
+            if not self.present[receiver]:
+                continue
+            audible = [
+                by_sender[s]
+                for s in self.spec.topology.neighbors(receiver)
+                if s in by_sender and self.present[s]
+            ]
+            if not audible:
+                continue
+            audible.sort(key=lambda tx: tx.tx_true)
+            decoded: List[_Transmission] = []
+            index = 0
+            while index < len(audible):
+                group = [audible[index]]
+                end = audible[index].tx_true + airtime
+                index += 1
+                while index < len(audible) and audible[index].tx_true < end:
+                    group.append(audible[index])
+                    end = max(end, audible[index].tx_true + airtime)
+                    index += 1
+                if len(group) == 1:
+                    if per <= 0.0 or self._chan_rng.random() >= per:
+                        decoded.append(group[0])
+                else:
+                    self.collisions += 1
+            if decoded:
+                receptions[receiver] = decoded
+        return receptions
+
+    def _process_receptions(
+        self, period: int, receptions: Dict[int, List[_Transmission]]
+    ) -> set:
+        """Returns the set of receivers that *accepted* a beacon (decoded,
+        interval-fresh and guard-passing) - the input to silence tracking."""
+        spec = self.spec
+        accepted: set = set()
+        latency = (
+            spec.beacon_airtime_slots * spec.slot_time_us
+            + spec.propagation_delay_us
+        )
+        for receiver, decoded in receptions.items():
+            if receiver == self.root:
+                accepted.add(receiver)
+                continue
+            state = self.nodes[receiver]
+            # Upstream selection: stick with the current upstream whenever
+            # its beacon decoded (switching resets the sample history);
+            # switch only to a strictly better hop, or when the current
+            # upstream went quiet.
+            decoded.sort(key=lambda tx: (tx.hop, tx.tx_true))
+            best = decoded[0]
+            current = next(
+                (tx for tx in decoded if tx.sender == state.upstream), None
+            )
+            if current is not None and best.hop >= current.hop:
+                chosen = current
+            elif current is not None and best.hop < current.hop:
+                chosen = best  # strictly better hop: re-hang
+            elif state.upstream is None or state.silent >= 2 * self.spec.l:
+                chosen = best
+            else:
+                continue  # upstream not heard this period; stay patient
+            arrival = chosen.tx_true + latency
+            jitter = float(
+                self._chan_rng.uniform(
+                    -spec.timestamp_jitter_us, spec.timestamp_jitter_us
+                )
+            )
+            # normalise out the sender's deterministic schedule delay (see
+            # _Transmission): both sides of the sample sit on the BP grid
+            hw = self._hw_at(receiver, arrival) - chosen.delay_us
+            est = chosen.timestamp + latency + jitter
+            local = state.clock.read_current(hw)
+            if state.hop is None:
+                # first contact: loose initialisation (the coarse phase of
+                # a joiner, collapsed to one sample for founding nodes that
+                # are loosely synchronized already)
+                state.clock = AdjustedClock(
+                    state.clock.k, state.clock.b + (est - local)
+                )
+                state.hop = chosen.hop + 1
+                state.upstream = chosen.sender
+                state.silent = 0
+                accepted.add(receiver)
+                continue
+            guard = spec.guard_fine_us + spec.guard_per_hop_us * (chosen.hop + 1)
+            if abs(est - local) > guard:
+                continue  # guard time: replayed/delayed/forged or far drift
+            silent_before = state.silent
+            state.silent = 0
+            accepted.add(receiver)
+            better_hop = chosen.hop + 1 < state.hop
+            if chosen.sender != state.upstream:
+                if (
+                    better_hop
+                    or state.upstream is None
+                    or silent_before >= 2 * spec.l
+                ):
+                    state.upstream = chosen.sender
+                    state.hop = chosen.hop + 1
+                    state.samples.clear()
+                    state.pending = None
+                else:
+                    continue  # stick with the current upstream
+            else:
+                state.hop = chosen.hop + 1
+            # uTESLA delayed authentication: last period's pending
+            # observation from this upstream becomes a sample now
+            if state.pending is not None and state.pending[0] < period:
+                interval, p_hw, p_est = state.pending
+                state.samples.append(AdjustmentSample(interval, p_hw, p_est))
+                del state.samples[:-2]
+            state.pending = (period, hw, est)
+            self._try_adjust(receiver, period, hw)
+        return accepted
+
+    def _try_adjust(self, receiver: int, period: int, hw_now: float) -> None:
+        spec = self.spec
+        state = self.nodes[receiver]
+        if len(state.samples) < 2:
+            return
+        newest, older = state.samples[-1], state.samples[-2]
+        # freshness limits sized to the relay rotation: an upstream on a
+        # cycle-4 rotation yields samples up to 4 periods apart
+        if period - newest.interval > 6 or newest.interval - older.interval > 9:
+            return
+        # generalised equation (5): extrapolate the upstream's own grid
+        target = newest.ref_timestamp + (
+            period + spec.m - newest.interval
+        ) * spec.beacon_period_us
+        try:
+            k, b = solve_adjustment(
+                state.clock.k, state.clock.b, hw_now, newest, older, target
+            )
+        except DegenerateSamplesError:
+            return
+        if abs(k - 1.0) > spec.k_clamp:
+            return
+        try:
+            state.clock.adjust(k, b, hw_now)
+        except MonotonicityError:
+            return
+        state.adjustments += 1
+
+    def _end_period(self, period: int, accepted: set) -> None:
+        spec = self.spec
+        orphan_election = self.root < 0
+        for i in range(self.n):
+            if not self.present[i] or i == self.root:
+                continue
+            state = self.nodes[i]
+            if i not in accepted:
+                state.silent += 1
+                if state.silent > 4 * spec.l and state.upstream is not None:
+                    # upstream lost: detach and re-acquire from any beacon
+                    state.samples.clear()
+                    state.pending = None
+                    state.upstream = None
+                if state.silent > spec.resync_after_periods and state.hop is not None:
+                    # nothing acceptable heard for a long stretch: this
+                    # clock has diverged beyond the guard - start over
+                    state.reset_sync()
+        if orphan_election:
+            # a hop-1 orphan that transmitted and heard nothing becomes root
+            candidates = [
+                i
+                for i in range(self.n)
+                if self.present[i]
+                and self.nodes[i].hop == 1
+                and i not in accepted
+            ]
+            # the transmission set for this period is gone; approximate the
+            # single-winner rule with the earliest-slot draw equivalent:
+            if candidates:
+                winner = candidates[0]
+                self.root = winner
+                state = self.nodes[winner]
+                state.hop = 0
+                state.upstream = None
+                self.root_changes += 1
+                # the new root is the timebase: clamp away any transient
+                # slewing slope (same rationale as the single-hop
+                # reference_pace_clamp), continuously at the current time
+                hw_now = self._hw_at(winner, (period + 1) * spec.beacon_period_us)
+                k_old = state.clock.k
+                k_new = min(max(k_old, 1.0 - 3e-4), 1.0 + 3e-4)
+                if k_new != k_old:
+                    state.clock.slew_to(0.0, k_new, at_local_time=hw_now)
+
+    def _sample_metrics(self, period: int) -> None:
+        spec = self.spec
+        sample_time = (period + 0.9) * spec.beacon_period_us
+        values = []
+        present_synced = []
+        for i in range(self.n):
+            if self.present[i] and self.nodes[i].hop is not None:
+                values.append(self._adjusted_at(i, sample_time))
+                present_synced.append(i)
+        self._recorder.record(
+            sample_time, values, self.root if self.root >= 0 else -1
+        )
+        # per-hop error vs the root (second half of the run only)
+        if self.root >= 0 and period > spec.periods // 2:
+            root_value = self._adjusted_at(self.root, sample_time)
+            hops = self.spec.topology.hop_distances(self.root)
+            for i, value in zip(present_synced, values):
+                hop = hops.get(i)
+                if hop is None or hop == 0:
+                    continue
+                self._per_hop_errors.setdefault(hop, []).append(
+                    abs(value - root_value)
+                )
+
+
+def run_multihop(spec: MultiHopSpec) -> MultiHopResult:
+    """Convenience wrapper."""
+    return MultiHopRunner(spec).run()

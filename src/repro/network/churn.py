@@ -1,0 +1,112 @@
+"""Membership churn.
+
+The paper's section 5 scenario: 5% of the stations leave at every
+``k * 200 s`` and return 50 s later; additionally, the current *reference*
+node leaves at 300 s, 500 s and 800 s (to exercise reference re-election)
+and likewise returns after 50 s. A :class:`ChurnSchedule` pre-computes the
+leave/return events; the special node id :data:`REFERENCE_MARKER` is
+resolved by the runner at event time to whoever currently is the
+reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.sim.units import S
+
+#: Placeholder node id meaning "whoever is the reference when this fires".
+REFERENCE_MARKER: int = -1
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One churn action, applied at the start of ``period``."""
+
+    period: int
+    action: str  # "leave" | "return"
+    node_ids: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.action not in ("leave", "return"):
+            raise ValueError(f"unknown churn action {self.action!r}")
+
+
+class ChurnSchedule:
+    """An ordered collection of churn events, indexed by period."""
+
+    def __init__(self, events: Iterable[ChurnEvent] = ()) -> None:
+        self._by_period: dict = {}
+        for event in events:
+            self._by_period.setdefault(event.period, []).append(event)
+
+    def add(self, event: ChurnEvent) -> None:
+        """Append one event."""
+        self._by_period.setdefault(event.period, []).append(event)
+
+    def events_for(self, period: int) -> List[ChurnEvent]:
+        """Events to apply at the start of ``period``."""
+        return self._by_period.get(period, [])
+
+    def periods(self) -> List[int]:
+        """Sorted periods having events."""
+        return sorted(self._by_period)
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._by_period.values())
+
+    @classmethod
+    def paper_default(
+        cls,
+        node_ids: Sequence[int],
+        total_periods: int,
+        rng: np.random.Generator,
+        beacon_period_us: float = 0.1 * S,
+        leave_fraction: float = 0.05,
+        leave_every_s: float = 200.0,
+        away_s: float = 50.0,
+        reference_leave_times_s: Sequence[float] = (300.0, 500.0, 800.0),
+    ) -> "ChurnSchedule":
+        """The section 5 churn pattern, scaled to any horizon.
+
+        Group departures happen at ``k * leave_every_s``; each group is an
+        independent random ``leave_fraction`` sample of the stations. The
+        reference departures use :data:`REFERENCE_MARKER`.
+        """
+        schedule = cls()
+        n = len(node_ids)
+        ids = np.asarray(node_ids)
+
+        def period_of(t_s: float) -> int:
+            return int(round(t_s * S / beacon_period_us))
+
+        away_periods = max(1, period_of(away_s))
+        k = 1
+        while True:
+            leave_period = period_of(k * leave_every_s)
+            if leave_period >= total_periods:
+                break
+            group_size = max(1, int(round(n * leave_fraction)))
+            group = tuple(
+                int(i) for i in rng.choice(ids, size=group_size, replace=False)
+            )
+            schedule.add(ChurnEvent(leave_period, "leave", group))
+            return_period = leave_period + away_periods
+            if return_period < total_periods:
+                schedule.add(ChurnEvent(return_period, "return", group))
+            k += 1
+
+        for t_s in reference_leave_times_s:
+            leave_period = period_of(t_s)
+            if leave_period >= total_periods:
+                continue
+            schedule.add(ChurnEvent(leave_period, "leave", (REFERENCE_MARKER,)))
+            return_period = leave_period + away_periods
+            if return_period < total_periods:
+                # The marker is resolved at leave time; the runner records
+                # the resolved id so the same station returns.
+                schedule.add(ChurnEvent(return_period, "return", (REFERENCE_MARKER,)))
+        return schedule

@@ -1,0 +1,284 @@
+"""The per-BP network runner.
+
+Each beacon period the runner:
+
+1. applies churn events due this period (``REFERENCE_MARKER`` resolved to
+   the current reference);
+2. asks every present node's protocol for a transmission intent and maps
+   it to the true-time axis through that node's clocks;
+3. resolves the beacon window with the carrier-sense contention cascade;
+4. builds the winning beacon (if any), pushes it through the lossy
+   broadcast channel, and dispatches receptions with per-receiver
+   timestamp-estimate jitter;
+5. runs end-of-period hooks and records the metric sample.
+
+Rounds and churn are sequenced through the discrete-event kernel so that
+other event sources (tests inject their own) interleave correctly.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.metrics import TraceRecorder, SyncTrace
+from repro.mac.contention import ContentionResult, resolve_contention
+from repro.network.churn import ChurnSchedule, REFERENCE_MARKER
+from repro.network.node import Node
+from repro.phy.channel import BroadcastChannel
+from repro.phy.params import PhyParams
+from repro.protocols.base import RxContext
+from repro.sim.engine import Simulator
+from repro.sim.units import S
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class RunnerParams:
+    """Run-shape parameters.
+
+    Attributes
+    ----------
+    beacon_period_us:
+        ``BP``.
+    periods:
+        Number of beacon periods to simulate (period indices start at 1,
+        aligning with uTESLA interval 1 at ``T_0 + BP``).
+    beacon_airtime_slots:
+        Airtime of this network's beacons (4 TSF / 7 SSTSP).
+    sample_offset_fraction:
+        Where inside each period the metric sample is taken (after the
+        beacon exchange settles).
+    keep_values:
+        Retain the full per-node clock matrix in the trace (application
+        evaluations consume it; costs 8 bytes x periods x nodes).
+    """
+
+    beacon_period_us: float = 0.1 * S
+    periods: int = 1000
+    beacon_airtime_slots: int = 4
+    sample_offset_fraction: float = 0.9
+    keep_values: bool = False
+
+    def __post_init__(self) -> None:
+        if self.beacon_period_us <= 0:
+            raise ValueError("beacon_period_us must be > 0")
+        if self.periods < 1:
+            raise ValueError("periods must be >= 1")
+        if not 0.0 < self.sample_offset_fraction < 1.0:
+            raise ValueError("sample_offset_fraction must be in (0, 1)")
+
+
+@dataclass
+class RunResult:
+    """Everything a finished run exposes."""
+
+    trace: SyncTrace
+    nodes: List[Node]
+    channel: BroadcastChannel
+    periods: int
+    successful_beacons: int = 0
+    contention_windows: int = 0
+    events: List[str] = field(default_factory=list)
+
+
+class NetworkRunner:
+    """Drives one IBSS for a configured number of beacon periods."""
+
+    def __init__(
+        self,
+        nodes: Sequence[Node],
+        channel: BroadcastChannel,
+        phy: PhyParams,
+        params: RunnerParams,
+        churn: Optional[ChurnSchedule] = None,
+    ) -> None:
+        ids = [node.node_id for node in nodes]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate node ids")
+        self.nodes = list(nodes)
+        self._by_id: Dict[int, Node] = {node.node_id: node for node in nodes}
+        self.channel = channel
+        self.phy = phy
+        self.params = params
+        self.churn = churn or ChurnSchedule()
+        self.recorder = TraceRecorder(keep_values=params.keep_values)
+        self._marker_left: List[int] = []
+        self._events: List[str] = []
+        self._beacon_successes = 0
+        self._windows = 0
+        self._last_beacon_true = 0.0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def run(self) -> RunResult:
+        """Simulate all periods and return the result bundle."""
+        sim = Simulator()
+        bp = self.params.beacon_period_us
+        for period in range(1, self.params.periods + 1):
+            sim.schedule(period * bp, self._run_period, period)
+        sim.run()
+        return RunResult(
+            trace=self.recorder.finalize(),
+            nodes=self.nodes,
+            channel=self.channel,
+            periods=self.params.periods,
+            successful_beacons=self._beacon_successes,
+            contention_windows=self._windows,
+            events=self._events,
+        )
+
+    def current_reference(self) -> int:
+        """Node id of the station believing it is the reference (-1 if
+        none / not an SSTSP network)."""
+        for node in self.nodes:
+            is_ref = getattr(node.protocol, "is_reference", None)
+            if is_ref is not None and node.present and is_ref():
+                return node.node_id
+        return -1
+
+    # ------------------------------------------------------------------
+    # One period
+    # ------------------------------------------------------------------
+
+    def _run_period(self, period: int) -> None:
+        bp = self.params.beacon_period_us
+        self._apply_churn(period)
+        awake = [node for node in self.nodes if node.present]
+
+        candidates = []
+        for node in awake:
+            intent = node.protocol.begin_period(period)
+            if intent is None:
+                continue
+            candidates.append((node.node_id, node.scheduled_true_time(intent)))
+
+        airtime = self.params.beacon_airtime_slots * self.phy.slot_time_us
+        if candidates:
+            self._windows += 1
+            result = resolve_contention(candidates, airtime, self.phy.cca_us)
+        else:
+            result = ContentionResult()
+
+        transmitted_ids = set()
+        for tx in result.transmissions:
+            transmitted_ids.update(tx.members)
+            if not tx.success:
+                self.channel.record_collision(len(tx.members))
+
+        success = result.first_success
+        received_ids = set()
+        winner_id = -2
+        if success is not None:
+            winner_id = success.members[0]
+            sender = self._by_id[winner_id]
+            hw_tx = sender.hw.read(success.start_us)
+            frame = sender.protocol.make_frame(hw_tx, period)
+            self._beacon_successes += 1
+            pool = [node.node_id for node in awake if node.node_id != winner_id]
+            delivered = self.channel.broadcast(
+                winner_id, pool, success.start_us, frame.size_bytes
+            )
+            arrival = success.end_us + self.phy.propagation_delay_us
+            latency = (success.end_us - success.start_us) + self.phy.propagation_delay_us
+            for rid in delivered:
+                rnode = self._by_id[rid]
+                est = (
+                    frame.timestamp_us
+                    + latency
+                    + self.channel.sample_timestamp_error()
+                )
+                rx = RxContext(
+                    true_time=arrival,
+                    hw_time=rnode.hw.read(arrival),
+                    est_timestamp=est,
+                    period=period,
+                )
+                rnode.protocol.on_beacon(frame, rx)
+                received_ids.add(rid)
+
+        for node in awake:
+            node.protocol.end_period(
+                period,
+                heard_beacon=node.node_id in received_ids,
+                transmitted=node.node_id in transmitted_ids,
+                tx_success=node.node_id == winner_id,
+            )
+
+        # Sample at a fixed phase relative to the beacon grid (see the
+        # vector engine): emission instants drift against the nominal grid
+        # at the timebase's pace error, and tying the sample phase to the
+        # beacons keeps "0.9 BP after the last correction" true all run.
+        if success is not None:
+            self._last_beacon_true = success.start_us
+        else:
+            self._last_beacon_true += bp
+        sample_time = (
+            self._last_beacon_true + self.params.sample_offset_fraction * bp
+        )
+        values = []
+        full = (
+            np.full(len(self.nodes), np.nan) if self.params.keep_values else None
+        )
+        for index, node in enumerate(self.nodes):
+            if not (
+                node.present
+                and node.include_in_metrics
+                and node.protocol.is_synchronized()
+            ):
+                continue
+            value = node.synchronized_time_at(sample_time)
+            values.append(value)
+            if full is not None:
+                full[index] = value
+        self.recorder.record(
+            sample_time, values, self.current_reference(), full_values=full
+        )
+
+    # ------------------------------------------------------------------
+    # Churn
+    # ------------------------------------------------------------------
+
+    def _apply_churn(self, period: int) -> None:
+        for event in self.churn.events_for(period):
+            for node_id in event.node_ids:
+                resolved = self._resolve_marker(node_id, event.action)
+                if resolved is None:
+                    continue
+                node = self._by_id.get(resolved)
+                if node is None:
+                    continue
+                if event.action == "leave" and node.present:
+                    node.present = False
+                    node.protocol.on_leave(period)
+                    self._events.append(f"p{period}: node {resolved} left")
+                    logger.info("churn: node %d left at period %d", resolved, period)
+                elif event.action == "return" and not node.present:
+                    node.present = True
+                    node.protocol.on_return(period)
+                    self._events.append(f"p{period}: node {resolved} returned")
+                    logger.info("churn: node %d returned at period %d", resolved, period)
+
+    def _resolve_marker(self, node_id: int, action: str) -> Optional[int]:
+        if node_id != REFERENCE_MARKER:
+            return node_id
+        if action == "leave":
+            ref = self.current_reference()
+            if ref < 0:
+                return None
+            node = self._by_id.get(ref)
+            if node is not None and not node.include_in_metrics:
+                # the "reference" is an attacker squatting on the role; the
+                # churn scenario removes legitimate stations only
+                return None
+            self._marker_left.append(ref)
+            return ref
+        if self._marker_left:
+            return self._marker_left.pop(0)
+        return None

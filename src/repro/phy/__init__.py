@@ -1,0 +1,29 @@
+"""PHY substrate: OFDM timing parameters and the single-hop broadcast channel.
+
+An IBSS (the paper's setting) is a fully connected single-hop network, so
+the channel model is: every transmission reaches every awake station,
+subject to (a) collisions resolved by the MAC contention cascade, (b) an
+independent per-receiver packet error rate, and (c) optional jamming
+windows used by the attack scenarios.
+"""
+
+from repro.phy.params import (
+    OFDM_54MBPS,
+    PhyParams,
+    SSTSP_BEACON_AIRTIME_SLOTS,
+    SSTSP_BEACON_BYTES,
+    TSF_BEACON_AIRTIME_SLOTS,
+    TSF_BEACON_BYTES,
+)
+from repro.phy.channel import BroadcastChannel, ChannelStats
+
+__all__ = [
+    "PhyParams",
+    "OFDM_54MBPS",
+    "TSF_BEACON_BYTES",
+    "SSTSP_BEACON_BYTES",
+    "TSF_BEACON_AIRTIME_SLOTS",
+    "SSTSP_BEACON_AIRTIME_SLOTS",
+    "BroadcastChannel",
+    "ChannelStats",
+]

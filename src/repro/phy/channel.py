@@ -1,0 +1,139 @@
+"""Single-hop broadcast channel with per-receiver loss and jamming.
+
+Collisions are resolved *before* delivery by the MAC contention cascade
+(:mod:`repro.mac.contention`); the channel's job is the per-receiver fate
+of an un-collided transmission: an independent packet-error coin flip per
+receiver, suppression during jamming windows, and bookkeeping for the
+traffic-overhead model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.phy.params import PhyParams
+
+
+@dataclass
+class ChannelStats:
+    """Running counters over the life of a channel."""
+
+    transmissions: int = 0
+    collisions: int = 0
+    deliveries: int = 0
+    per_drops: int = 0
+    jammed_drops: int = 0
+    bytes_on_air: int = 0
+
+    def delivery_ratio(self) -> float:
+        """Delivered / attempted receiver-deliveries (1.0 when nothing sent)."""
+        attempted = self.deliveries + self.per_drops + self.jammed_drops
+        return self.deliveries / attempted if attempted else 1.0
+
+
+class BroadcastChannel:
+    """Fully connected wireless broadcast domain (an IBSS).
+
+    Parameters
+    ----------
+    phy:
+        Timing/loss parameters.
+    rng:
+        Stream for the per-receiver packet-error draws.
+    """
+
+    def __init__(self, phy: PhyParams, rng: np.random.Generator) -> None:
+        self.phy = phy
+        self._rng = rng
+        self.stats = ChannelStats()
+        self._jam_windows: List[Tuple[float, float]] = []
+
+    def add_jam_window(self, start_us: float, end_us: float) -> None:
+        """Suppress all receptions whose transmission starts in
+        ``[start_us, end_us)`` (true time). Used by pulse-delay attacks."""
+        if end_us <= start_us:
+            raise ValueError("jam window must have end > start")
+        self._jam_windows.append((float(start_us), float(end_us)))
+
+    def is_jammed(self, true_time: float) -> bool:
+        """Whether a transmission starting at ``true_time`` is jammed."""
+        return any(start <= true_time < end for start, end in self._jam_windows)
+
+    def record_collision(self, parties: int) -> None:
+        """Account a collision of ``parties`` simultaneous transmitters."""
+        self.stats.collisions += 1
+        self.stats.transmissions += parties
+
+    def broadcast(
+        self,
+        sender: int,
+        receivers: Sequence[int],
+        true_time: float,
+        size_bytes: int,
+    ) -> List[int]:
+        """Deliver one un-collided transmission; return receivers that decode it.
+
+        Each receiver independently loses the frame with probability
+        ``phy.packet_error_rate``. If ``true_time`` falls in a jam window,
+        nobody receives.
+        """
+        self.stats.transmissions += 1
+        self.stats.bytes_on_air += size_bytes
+        receivers = [r for r in receivers if r != sender]
+        if not receivers:
+            return []
+        if self.is_jammed(true_time):
+            self.stats.jammed_drops += len(receivers)
+            return []
+        per = self.phy.packet_error_rate
+        if per <= 0.0:
+            self.stats.deliveries += len(receivers)
+            return list(receivers)
+        if self.phy.loss_model == "per_transmission":
+            if self._rng.random() < per:
+                self.stats.per_drops += len(receivers)
+                return []
+            self.stats.deliveries += len(receivers)
+            return list(receivers)
+        lost = self._rng.random(len(receivers)) < per
+        delivered = [r for r, drop in zip(receivers, lost) if not drop]
+        self.stats.per_drops += len(receivers) - len(delivered)
+        self.stats.deliveries += len(delivered)
+        return delivered
+
+    def sample_timestamp_error(self) -> float:
+        """Receive-side timestamping error for one reception.
+
+        Uniform in ``+- timestamp_jitter_us``; this is the source of the
+        paper's ``epsilon`` bound on ``|ts_ref - t_ref|``.
+        """
+        j = self.phy.timestamp_jitter_us
+        if j == 0.0:
+            return 0.0
+        return float(self._rng.uniform(-j, j))
+
+    def sample_timestamp_errors(self, n: int) -> np.ndarray:
+        """Vectorised version of :meth:`sample_timestamp_error`."""
+        j = self.phy.timestamp_jitter_us
+        if j == 0.0:
+            return np.zeros(n)
+        return self._rng.uniform(-j, j, size=n)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"BroadcastChannel(stats={self.stats})"
+
+
+def merge_stats(stats: Iterable[ChannelStats]) -> ChannelStats:
+    """Aggregate several channels' counters (multi-replica experiments)."""
+    total = ChannelStats()
+    for s in stats:
+        total.transmissions += s.transmissions
+        total.collisions += s.collisions
+        total.deliveries += s.deliveries
+        total.per_drops += s.per_drops
+        total.jammed_drops += s.jammed_drops
+        total.bytes_on_air += s.bytes_on_air
+    return total

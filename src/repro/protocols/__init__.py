@@ -1,0 +1,37 @@
+"""Synchronization protocols.
+
+All protocols - the TSF baseline, the related-work schemes the paper
+surveys (ATSP, TATSP [4], SATSF [10], Rentel-Kunz [1]) and SSTSP itself
+(:mod:`repro.core`) - implement the per-node driver interface of
+:mod:`repro.protocols.base` and run unchanged inside the
+:mod:`repro.network` harness.
+"""
+
+from repro.protocols.base import (
+    ClockKind,
+    RxContext,
+    SyncProtocol,
+    TxIntent,
+)
+from repro.protocols.tsf import TsfConfig, TsfProtocol
+from repro.protocols.atsp import AtspConfig, AtspProtocol
+from repro.protocols.tatsp import TatspConfig, TatspProtocol
+from repro.protocols.satsf import SatsfConfig, SatsfProtocol
+from repro.protocols.rentel import RentelConfig, RentelProtocol
+
+__all__ = [
+    "ClockKind",
+    "SyncProtocol",
+    "TxIntent",
+    "RxContext",
+    "TsfConfig",
+    "TsfProtocol",
+    "AtspConfig",
+    "AtspProtocol",
+    "TatspConfig",
+    "TatspProtocol",
+    "SatsfConfig",
+    "SatsfProtocol",
+    "RentelConfig",
+    "RentelProtocol",
+]

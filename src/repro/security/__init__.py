@@ -1,0 +1,20 @@
+"""Security substrate: outlier filters and attacker models.
+
+The coarse synchronization phase collects timestamp offsets and
+"eliminates biased offsets" before averaging (paper section 3.3), citing
+Song, Zhu & Cao [7] for two mechanisms: a threshold filter and the
+generalized extreme studentized deviate (GESD) multi-outlier test. Both
+live in :mod:`repro.security.outliers`.
+
+Attacker models (:mod:`repro.security.attacks`) are implemented as
+malicious protocol drivers that plug into the same network harness as the
+honest protocols - an attacker *is* a node with different software.
+"""
+
+from repro.security.outliers import gesd_outliers, robust_offset_average, threshold_filter
+
+__all__ = [
+    "threshold_filter",
+    "gesd_outliers",
+    "robust_offset_average",
+]

@@ -1,0 +1,159 @@
+"""Outlier rejection for collected clock offsets.
+
+Implements the two attack-resilient aggregation mechanisms of Song, Zhu &
+Cao, *Attack-Resilient Time Synchronization for Wireless Sensor Networks*
+(MASS 2005) - the paper's reference [7] - which SSTSP's coarse phase uses
+to discard malicious time offsets before averaging:
+
+* :func:`threshold_filter` - keep offsets within a threshold of the sample
+  median (the median, unlike the mean, is itself robust to a minority of
+  arbitrarily biased values).
+* :func:`gesd_outliers` - the generalized extreme studentized deviate test,
+  which detects up to ``max_outliers`` outliers in approximately normal
+  data without knowing their number in advance.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+def threshold_filter(
+    offsets: Sequence[float],
+    threshold: float,
+) -> np.ndarray:
+    """Return a boolean inlier mask: ``|offset - median| <= threshold``.
+
+    A loose threshold suits the coarse phase (the goal is only loose
+    synchronization); the fine phase uses the tighter per-beacon guard-time
+    check instead.
+    """
+    if threshold < 0:
+        raise ValueError(f"threshold must be >= 0, got {threshold}")
+    values = np.asarray(offsets, dtype=np.float64)
+    if values.size == 0:
+        return np.zeros(0, dtype=bool)
+    median = float(np.median(values))
+    return np.abs(values - median) <= threshold
+
+
+def _gesd_critical_value(n: int, i: int, alpha: float) -> float:
+    """Critical value ``lambda_i`` of the GESD test at step ``i`` (1-based)."""
+    # Percentile of the t distribution with n - i - 1 degrees of freedom.
+    df = n - i - 1
+    p = 1.0 - alpha / (2.0 * (n - i + 1))
+    t = _t_ppf(p, df)
+    return (n - i) * t / math.sqrt((df + t * t) * (n - i + 1))
+
+
+def _t_ppf(p: float, df: int) -> float:
+    """Student-t quantile. Uses scipy when available, else the Cornish-
+    Fisher-style expansion of the normal quantile (accurate to ~1e-3 for
+    df >= 3, ample for an outlier cut-off)."""
+    try:
+        from scipy.stats import t as _t
+
+        return float(_t.ppf(p, df))
+    except ImportError:  # pragma: no cover - scipy is installed in CI
+        z = _norm_ppf(p)
+        g1 = (z**3 + z) / 4.0
+        g2 = (5 * z**5 + 16 * z**3 + 3 * z) / 96.0
+        return z + g1 / df + g2 / df**2
+
+
+def _norm_ppf(p: float) -> float:
+    """Acklam's rational approximation of the standard normal quantile."""
+    if not 0.0 < p < 1.0:
+        raise ValueError("p must be in (0, 1)")
+    a = [-3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
+         1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00]
+    b = [-5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
+         6.680131188771972e01, -1.328068155288572e01]
+    c = [-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e00,
+         -2.549732539343734e00, 4.374664141464968e00, 2.938163982698783e00]
+    d = [7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e00,
+         3.754408661907416e00]
+    p_low = 0.02425
+    if p < p_low:
+        q = math.sqrt(-2 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1
+        )
+    if p > 1 - p_low:
+        return -_norm_ppf(1 - p)
+    q = p - 0.5
+    r = q * q
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / (
+        ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1
+    )
+
+
+def gesd_outliers(
+    values: Sequence[float],
+    max_outliers: int,
+    alpha: float = 0.05,
+) -> List[int]:
+    """Indices of outliers per the generalized ESD test (Rosner 1983).
+
+    Iteratively removes the sample furthest from the mean and compares the
+    studentized deviate ``R_i`` against the critical value ``lambda_i``;
+    the outlier count is the largest ``i`` with ``R_i > lambda_i``.
+    """
+    data = np.asarray(values, dtype=np.float64)
+    n = data.size
+    if max_outliers < 0:
+        raise ValueError("max_outliers must be >= 0")
+    max_outliers = min(max_outliers, max(0, n - 2))
+    if max_outliers == 0 or n < 3:
+        return []
+    remaining = list(range(n))
+    removed: List[Tuple[int, float]] = []
+    for i in range(1, max_outliers + 1):
+        subset = data[remaining]
+        mean = subset.mean()
+        std = subset.std(ddof=1)
+        if std == 0.0:
+            break
+        deviates = np.abs(subset - mean) / std
+        worst_local = int(np.argmax(deviates))
+        r_i = float(deviates[worst_local])
+        lam_i = _gesd_critical_value(n, i, alpha)
+        removed.append((remaining.pop(worst_local), r_i - lam_i))
+        if len(remaining) < 2:
+            break
+    # Largest i whose deviate exceeded its critical value marks the cut.
+    outlier_count = 0
+    for i, (_, margin) in enumerate(removed, start=1):
+        if margin > 0:
+            outlier_count = i
+    return sorted(index for index, _ in removed[:outlier_count])
+
+
+def robust_offset_average(
+    offsets: Sequence[float],
+    threshold: float,
+    use_gesd: bool = False,
+    alpha: float = 0.05,
+) -> Tuple[float, int]:
+    """Coarse-phase aggregation: filter outliers, average the survivors.
+
+    Returns ``(average_offset, inliers_used)``. With no survivors (all
+    offsets rejected) the offset is 0.0 and ``inliers_used`` is 0 - the
+    caller should keep scanning rather than adjust.
+    """
+    values = np.asarray(offsets, dtype=np.float64)
+    if values.size == 0:
+        return 0.0, 0
+    mask = threshold_filter(values, threshold)
+    survivors = values[mask]
+    if use_gesd and survivors.size >= 3:
+        bad = gesd_outliers(survivors, max_outliers=survivors.size // 2, alpha=alpha)
+        keep = np.ones(survivors.size, dtype=bool)
+        keep[bad] = False
+        survivors = survivors[keep]
+    if survivors.size == 0:
+        return 0.0, 0
+    return float(survivors.mean()), int(survivors.size)

@@ -1,0 +1,24 @@
+"""Discrete-event simulation kernel.
+
+The kernel is deliberately small: a binary-heap event queue with stable
+FIFO tie-breaking (:class:`~repro.sim.engine.Simulator`), cancellable event
+handles, and a registry of independently seeded RNG streams
+(:class:`~repro.sim.rng.RngRegistry`) so that adding a consumer of
+randomness never perturbs the draws seen by existing consumers.
+"""
+
+from repro.sim.engine import Event, Simulator, SimulationError
+from repro.sim.rng import RngRegistry
+from repro.sim.units import MS, S, US, us_to_s, s_to_us
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "SimulationError",
+    "RngRegistry",
+    "US",
+    "MS",
+    "S",
+    "us_to_s",
+    "s_to_us",
+]

@@ -1,0 +1,30 @@
+"""Time units.
+
+All simulation times are floats expressed in **microseconds** of true
+(simulated-wall-clock) time. The constants below make literals such as
+``0.1 * S`` self-describing; conversion helpers are provided for display.
+
+With a 1000 s horizon the largest time value is 1e9 us. IEEE-754 float64
+resolves ~1e-7 us at that magnitude, far below the 1 us quantisation the
+IEEE 802.11 TSF timer itself applies, so floats are a safe representation
+(see DESIGN.md section 3).
+"""
+
+from __future__ import annotations
+
+#: One microsecond (the base unit).
+US: float = 1.0
+#: One millisecond in microseconds.
+MS: float = 1_000.0
+#: One second in microseconds.
+S: float = 1_000_000.0
+
+
+def us_to_s(t_us: float) -> float:
+    """Convert microseconds to seconds."""
+    return t_us / S
+
+
+def s_to_us(t_s: float) -> float:
+    """Convert seconds to microseconds."""
+    return t_s * S

@@ -1,0 +1,47 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clocks.oscillator import HardwareClock
+from repro.core.backend import ModeledCryptoBackend
+from repro.core.config import SstspConfig
+from repro.crypto.mutesla import IntervalSchedule
+from repro.sim.rng import RngRegistry
+from repro.sim.units import S
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def rngs() -> RngRegistry:
+    return RngRegistry(12345)
+
+
+@pytest.fixture
+def sstsp_config() -> SstspConfig:
+    return SstspConfig()
+
+
+@pytest.fixture
+def schedule(sstsp_config) -> IntervalSchedule:
+    return IntervalSchedule(
+        t0_us=sstsp_config.t0_us,
+        interval_us=sstsp_config.beacon_period_us,
+        length=512,
+    )
+
+
+@pytest.fixture
+def modeled_backend(schedule) -> ModeledCryptoBackend:
+    return ModeledCryptoBackend(schedule)
+
+
+def make_clock(ppm: float = 0.0, offset_us: float = 0.0) -> HardwareClock:
+    """A hardware clock with the given skew in ppm."""
+    return HardwareClock(rate=1.0 + ppm * 1e-6, initial_offset=offset_us)

@@ -1,0 +1,154 @@
+"""Unit tests for metrics, traces and the overhead models."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    INDUSTRY_THRESHOLD_US,
+    SyncTrace,
+    TraceRecorder,
+    audit_no_leaps,
+    max_pairwise_difference,
+    sync_latency_us,
+)
+from repro.analysis.overhead import (
+    beacon_overhead,
+    chain_storage_report,
+    fractal_storage_bound,
+    receiver_buffer_bytes,
+    traffic_overhead,
+    traffic_overhead_ratio,
+)
+from repro.clocks.adjusted import AdjustedClock
+from repro.phy.params import OFDM_54MBPS
+from repro.sim.units import S
+
+
+def make_trace(max_diffs, bp_us=100_000.0):
+    recorder = TraceRecorder()
+    for i, d in enumerate(max_diffs):
+        recorder.record((i + 1) * bp_us, [0.0, d], reference_id=3)
+    return recorder.finalize()
+
+
+class TestMetrics:
+    def test_max_pairwise(self):
+        assert max_pairwise_difference([5.0, 1.0, 3.0]) == 4.0
+        assert max_pairwise_difference([7.0]) == 0.0
+        assert max_pairwise_difference([]) == 0.0
+
+    def test_recorder_round_trip(self):
+        recorder = TraceRecorder()
+        recorder.record(100.0, [10.0, 30.0, 20.0], reference_id=2)
+        trace = recorder.finalize()
+        assert trace.max_diff_us[0] == 20.0
+        assert trace.present_counts[0] == 3
+        assert trace.reference_ids[0] == 2
+        assert trace.mean_vs_true_us[0] == pytest.approx(20.0 - 100.0)
+
+    def test_trace_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            SyncTrace(
+                np.zeros(3), np.zeros(2), np.zeros(3), np.zeros(3, int), np.zeros(3, int)
+            )
+
+    def test_window(self):
+        trace = make_trace([1, 2, 3, 4, 5])
+        sub = trace.window(150_000.0, 350_000.0)
+        assert list(sub.max_diff_us) == [2, 3]
+
+    def test_steady_state_skips_transient(self):
+        trace = make_trace([100.0] * 25 + [5.0] * 75)
+        assert trace.steady_state_error_us() == 5.0
+
+    def test_peak(self):
+        assert make_trace([1, 9, 2]).peak_error_us() == 9.0
+
+    def test_reference_changes(self):
+        recorder = TraceRecorder()
+        for i, ref in enumerate([1, 1, -1, 2, 2, 1]):
+            recorder.record(float(i + 1), [0.0, 0.0], reference_id=ref)
+        assert recorder.finalize().reference_changes() == 2
+
+    def test_save_csv(self, tmp_path):
+        trace = make_trace([1.0, 2.0])
+        path = tmp_path / "trace.csv"
+        trace.save_csv(str(path))
+        lines = path.read_text().strip().splitlines()
+        assert lines[0].startswith("time_s,max_diff_us")
+        assert len(lines) == 3
+
+    def test_to_rows(self):
+        rows = list(make_trace([4.0]).to_rows())
+        assert rows == [(0.1, 4.0)]
+
+
+class TestSyncLatency:
+    def test_basic(self):
+        trace = make_trace([50, 40, 30, 20, 10, 5, 5, 5, 5, 5])
+        latency = sync_latency_us(trace, sustain_samples=3)
+        # first below-threshold sample is index 3 (20 us) -> t = 0.4 s
+        assert latency == pytest.approx(0.4 * S)
+
+    def test_requires_sustained(self):
+        trace = make_trace([10, 90, 10, 90, 10, 10, 10])
+        latency = sync_latency_us(trace, sustain_samples=3)
+        assert latency == pytest.approx(0.5 * S)
+
+    def test_never_synchronized(self):
+        trace = make_trace([100.0] * 10)
+        assert sync_latency_us(trace) is None
+
+    def test_start_offset(self):
+        trace = make_trace([5.0] * 10)
+        latency = sync_latency_us(trace, sustain_samples=1, start_us=0.35 * S)
+        assert latency == pytest.approx(0.05 * S)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sync_latency_us(make_trace([1.0]), sustain_samples=0)
+
+    def test_threshold_constant(self):
+        assert INDUSTRY_THRESHOLD_US == 25.0
+
+
+class TestNoLeapAudit:
+    def test_clean_clock_passes(self):
+        clock = AdjustedClock()
+        clock.slew_to(0.0, 1.0001, 100.0)
+        clock.slew_to(0.0, 0.9999, 200.0)
+        assert audit_no_leaps(clock, 0.0, 1_000.0)
+
+
+class TestOverheadModels:
+    def test_beacon_overhead_matches_paper(self):
+        tsf = beacon_overhead(secure=False, phy=OFDM_54MBPS)
+        sstsp = beacon_overhead(secure=True, phy=OFDM_54MBPS)
+        assert (tsf.beacon_bytes, sstsp.beacon_bytes) == (56, 92)
+        assert tsf.beacons_per_second == sstsp.beacons_per_second == 10.0
+        assert sstsp.airtime_us_per_beacon / tsf.airtime_us_per_beacon == 7 / 4
+
+    def test_traffic_ratio(self):
+        assert traffic_overhead_ratio() == pytest.approx(92 / 56)
+        t = traffic_overhead(10.0)
+        assert t["beacons"] == 100
+        assert t["sstsp_bytes"] == 9_200
+
+    def test_buffer_in_paper_band(self):
+        # two buffered secure beacons with bookkeeping: the paper's
+        # "300-500 bytes" estimate covers 2-4 buffered beacons
+        assert 150 <= receiver_buffer_bytes(2) <= 500
+        with pytest.raises(ValueError):
+            receiver_buffer_bytes(-1)
+
+    def test_chain_storage_report(self):
+        rows = chain_storage_report(128, samples=32)
+        by_name = {r.strategy: r for r in rows}
+        assert by_name["dense"].resident_elements == 129
+        assert by_name["seed-only"].hash_ops_for_traversal > 0
+        assert by_name["fractal"].resident_elements <= fractal_storage_bound(128) + 7
+        with pytest.raises(ValueError):
+            chain_storage_report(16, samples=64)
+
+    def test_fractal_bound(self):
+        assert fractal_storage_bound(1024) == 10

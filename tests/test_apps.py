@@ -1,0 +1,181 @@
+"""Tests for the application-layer evaluations (power save, FHSS, TDMA)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import SyncTrace, TraceRecorder
+from repro.apps import (
+    FhssConfig,
+    PowerSaveConfig,
+    TdmaConfig,
+    evaluate_fhss,
+    evaluate_power_save,
+    evaluate_tdma,
+)
+from repro.apps.fhss import hop_channel
+from repro.experiments.scenarios import quick_spec
+from repro.fastlane import run_sstsp_vectorized
+
+
+def make_trace(offsets_by_period, n=4):
+    """A trace whose per-node clocks are t + given offsets."""
+    recorder = TraceRecorder(keep_values=True)
+    for i, offsets in enumerate(offsets_by_period):
+        t = (i + 1) * 100_000.0
+        values = np.asarray([t + o for o in offsets], dtype=float)
+        recorder.record(t, values[np.isfinite(values)], 0, full_values=values)
+    return recorder.finalize()
+
+
+class TestRecorderValues:
+    def test_values_matrix_kept(self):
+        trace = make_trace([[0.0, 5.0, -5.0, np.nan]] * 3)
+        assert trace.values_us.shape == (3, 4)
+        assert np.isnan(trace.values_us[0, 3])
+
+    def test_window_slices_values(self):
+        trace = make_trace([[0.0, 1.0, 2.0, 3.0]] * 10)
+        sub = trace.window(250_000.0, 550_000.0)
+        assert sub.values_us.shape[0] == len(sub)
+
+    def test_keep_values_requires_full(self):
+        recorder = TraceRecorder(keep_values=True)
+        with pytest.raises(ValueError):
+            recorder.record(1.0, [1.0, 2.0], 0)
+
+    def test_engine_produces_values(self):
+        spec = quick_spec(10, seed=1, duration_s=3.0)
+        trace = run_sstsp_vectorized(spec, keep_values=True).trace
+        assert trace.values_us is not None
+        assert trace.values_us.shape == (spec.periods, 10)
+
+
+class TestPowerSave:
+    def test_perfect_sync_needs_only_airtime(self):
+        trace = make_trace([[0.0, 0.0, 0.0, 0.0]] * 5)
+        report = evaluate_power_save(trace, PowerSaveConfig(atim_window_us=1_000.0))
+        assert report.failure_rate == 0.0
+        assert report.min_safe_window_us == pytest.approx(100.0)
+
+    def test_misalignment_drives_window(self):
+        trace = make_trace([[0.0, 200.0, -200.0, 50.0]] * 5)
+        report = evaluate_power_save(trace, PowerSaveConfig(atim_window_us=1_000.0))
+        assert report.max_misalignment_us == pytest.approx(400.0)
+        assert report.min_safe_window_us == pytest.approx(500.0)
+
+    def test_failures_counted(self):
+        config = PowerSaveConfig(atim_window_us=300.0, announcement_airtime_us=100.0)
+        trace = make_trace([[0.0, 250.0]] * 3 + [[0.0, 100.0]] * 7, n=2)
+        report = evaluate_power_save(trace, config)
+        assert report.failure_rate == pytest.approx(0.3)
+
+    def test_energy_savings_comparison(self):
+        good = evaluate_power_save(make_trace([[0.0, 10.0]] * 5, n=2))
+        bad = evaluate_power_save(make_trace([[0.0, 1_000.0]] * 5, n=2))
+        assert good.energy_savings_vs(bad) > 0.5
+
+    def test_needs_values(self):
+        trace = TraceRecorder().finalize()
+
+        recorder = TraceRecorder()
+        recorder.record(1.0, [1.0, 2.0], 0)
+        with pytest.raises(ValueError):
+            evaluate_power_save(recorder.finalize())
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PowerSaveConfig(atim_window_us=0)
+        with pytest.raises(ValueError):
+            PowerSaveConfig(announcement_airtime_us=5_000.0)
+        with pytest.raises(ValueError):
+            PowerSaveConfig(beacon_period_us=1_000.0)
+
+
+class TestFhss:
+    def test_perfect_alignment(self):
+        trace = make_trace([[0.0, 0.0, 0.0, 0.0]] * 5)
+        report = evaluate_fhss(trace)
+        assert report.aligned_fraction_worst_pair == pytest.approx(1.0)
+        assert report.misalignment_over_dwell == 0.0
+
+    def test_misalignment_costs_airtime(self):
+        config = FhssConfig(dwell_time_us=10_000.0, frame_airtime_us=500.0)
+        trace = make_trace([[0.0, 1_000.0]] * 5, n=2)
+        report = evaluate_fhss(trace, config)
+        assert report.aligned_fraction_worst_pair == pytest.approx(0.9)
+        assert report.frame_loss_worst_pair == pytest.approx(0.15)
+
+    def test_beyond_dwell_never_aligned(self):
+        config = FhssConfig(dwell_time_us=1_000.0, frame_airtime_us=100.0)
+        trace = make_trace([[0.0, 5_000.0]] * 5, n=2)
+        report = evaluate_fhss(trace, config)
+        assert report.aligned_fraction_worst_pair == 0.0
+        assert report.frame_loss_worst_pair == 1.0
+
+    def test_hop_channel_deterministic_and_in_range(self):
+        config = FhssConfig(channels=79)
+        channels = {hop_channel(t * 10_000.0, config) for t in range(200)}
+        assert all(0 <= c < 79 for c in channels)
+        assert len(channels) > 30  # spreads over the band
+        assert hop_channel(123_456.0, config) == hop_channel(123_456.0, config)
+
+    def test_same_slot_same_channel(self):
+        config = FhssConfig(dwell_time_us=10_000.0)
+        assert hop_channel(5_000.0, config) == hop_channel(9_999.0, config)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FhssConfig(dwell_time_us=0)
+        with pytest.raises(ValueError):
+            FhssConfig(channels=1)
+        with pytest.raises(ValueError):
+            FhssConfig(frame_airtime_us=20_000.0)
+
+
+class TestTdma:
+    def test_violations_counted(self):
+        config = TdmaConfig(guard_us=100.0)
+        trace = make_trace([[0.0, 150.0]] * 4 + [[0.0, 50.0]] * 6, n=2)
+        report = evaluate_tdma(trace, config)
+        assert report.violation_rate == pytest.approx(0.4)
+
+    def test_min_guard_has_safety_factor(self):
+        config = TdmaConfig(safety_factor=1.5)
+        trace = make_trace([[0.0, 100.0]] * 5, n=2)
+        report = evaluate_tdma(trace, config)
+        assert report.min_guard_us == pytest.approx(150.0)
+
+    def test_efficiency(self):
+        config = TdmaConfig(slot_payload_us=1_000.0, guard_us=100.0)
+        trace = make_trace([[0.0, 10.0]] * 5, n=2)
+        report = evaluate_tdma(trace, config)
+        assert report.efficiency == pytest.approx(1_000.0 / 1_100.0)
+
+    def test_capacity_gain(self):
+        good = evaluate_tdma(make_trace([[0.0, 5.0]] * 5, n=2))
+        bad = evaluate_tdma(make_trace([[0.0, 500.0]] * 5, n=2))
+        assert good.capacity_gain_vs(bad) > 0.2
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TdmaConfig(slot_payload_us=0)
+        with pytest.raises(ValueError):
+            TdmaConfig(safety_factor=0.5)
+
+
+class TestEndToEnd:
+    def test_sstsp_beats_tsf_on_every_application(self):
+        from repro.fastlane import run_tsf_vectorized
+
+        spec = quick_spec(30, seed=4, duration_s=20.0)
+        tsf = run_tsf_vectorized(spec, keep_values=True).trace.window(5e6, 21e6)
+        sstsp = run_sstsp_vectorized(spec, keep_values=True).trace.window(5e6, 21e6)
+        assert (
+            evaluate_power_save(sstsp).min_safe_window_us
+            < evaluate_power_save(tsf).min_safe_window_us
+        )
+        assert (
+            evaluate_fhss(sstsp).frame_loss_worst_pair
+            <= evaluate_fhss(tsf).frame_loss_worst_pair
+        )
+        assert evaluate_tdma(sstsp).min_guard_us < evaluate_tdma(tsf).min_guard_us

@@ -1,0 +1,100 @@
+"""Unit tests for hardware clocks and the TSF timer."""
+
+import numpy as np
+import pytest
+
+from repro.clocks.oscillator import (
+    DEFAULT_DRIFT_PPM,
+    HardwareClock,
+    TsfTimer,
+    sample_rates,
+)
+from repro.sim.units import S
+
+
+def test_read_is_linear():
+    clock = HardwareClock(rate=1.0001, initial_offset=50.0)
+    assert clock.read(0.0) == 50.0
+    assert clock.read(1000.0) == pytest.approx(50.0 + 1000.0 * 1.0001)
+
+
+def test_true_time_at_inverts_read():
+    clock = HardwareClock(rate=0.99995, initial_offset=-20.0)
+    for t in [0.0, 123.456, 1e9]:
+        assert clock.true_time_at(clock.read(t)) == pytest.approx(t, abs=1e-6)
+
+
+def test_skew_ppm():
+    assert HardwareClock(rate=1.0001).skew_ppm() == pytest.approx(100.0)
+    assert HardwareClock(rate=0.9999).skew_ppm() == pytest.approx(-100.0)
+
+
+def test_invalid_rates_rejected():
+    for rate in [0.0, -1.0, float("inf")]:
+        with pytest.raises(ValueError):
+            HardwareClock(rate=rate)
+
+
+def test_sample_rates_within_tolerance():
+    rng = np.random.default_rng(0)
+    rates = sample_rates(10_000, rng)
+    span = DEFAULT_DRIFT_PPM * 1e-6
+    assert rates.min() >= 1.0 - span
+    assert rates.max() <= 1.0 + span
+    # uniform over the span: mean near 1 with good accuracy
+    assert abs(rates.mean() - 1.0) < span / 10
+
+
+def test_sample_rates_validation():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        sample_rates(-1, rng)
+    with pytest.raises(ValueError):
+        sample_rates(5, rng, drift_ppm=-1)
+
+
+class TestTsfTimer:
+    def test_reads_floor_microseconds(self):
+        timer = TsfTimer(HardwareClock(rate=1.0, initial_offset=0.7))
+        assert timer.read(10.0) == 10
+        assert timer.raw(10.0) == pytest.approx(10.7)
+
+    def test_set_forward_applies_only_later_values(self):
+        timer = TsfTimer(HardwareClock())
+        assert timer.set_forward(150.0, true_time=100.0)
+        assert timer.raw(100.0) == pytest.approx(150.0)
+        # an earlier value is ignored (TSF never steps back)
+        assert not timer.set_forward(120.0, true_time=100.0)
+        assert timer.raw(100.0) == pytest.approx(150.0)
+        assert timer.adjustments_applied == 1
+
+    def test_adjustment_monotonically_nondecreasing(self):
+        timer = TsfTimer(HardwareClock(rate=1.0001))
+        previous = timer.adjustment
+        rng = np.random.default_rng(3)
+        for t in np.sort(rng.uniform(0, 1e6, 50)):
+            timer.set_forward(timer.raw(t) + rng.uniform(-5, 5), t)
+            assert timer.adjustment >= previous
+            previous = timer.adjustment
+
+    def test_raw_from_hw_consistent_with_raw(self):
+        clock = HardwareClock(rate=1.00005, initial_offset=12.0)
+        timer = TsfTimer(clock)
+        timer.set_forward(1_000.0, true_time=500.0)
+        t = 1234.5
+        assert timer.raw_from_hw(clock.read(t)) == pytest.approx(timer.raw(t))
+
+    def test_true_time_when_inverts(self):
+        clock = HardwareClock(rate=0.9999, initial_offset=-3.0)
+        timer = TsfTimer(clock)
+        timer.set_forward(10_000.0, true_time=5_000.0)
+        target = 123_456.0
+        t = timer.true_time_when(target)
+        assert timer.raw(t) == pytest.approx(target, abs=1e-6)
+
+    def test_one_second_drift_magnitude(self):
+        # +-100 ppm over one second is +-100 us: the scale all the paper's
+        # error curves are built from.
+        fast = TsfTimer(HardwareClock(rate=1.0001))
+        slow = TsfTimer(HardwareClock(rate=0.9999))
+        assert fast.raw(1.0 * S) - slow.raw(1.0 * S) == pytest.approx(200.0, rel=1e-9)

@@ -1,0 +1,58 @@
+"""Unit tests for the vectorised clock population."""
+
+import numpy as np
+import pytest
+
+from repro.clocks.oscillator import HardwareClock
+from repro.clocks.population import ClockPopulation
+from repro.sim.units import S
+
+
+def test_sample_shapes_and_bounds(rng):
+    pop = ClockPopulation.sample(200, rng, drift_ppm=100.0, initial_offset_us=112.0)
+    assert len(pop) == 200
+    assert np.all(np.abs(pop.rates - 1.0) <= 1e-4)
+    assert np.all(np.abs(pop.offsets) <= 112.0)
+
+
+def test_read_all_matches_scalar_clocks(rng):
+    pop = ClockPopulation.sample(50, rng, initial_offset_us=30.0)
+    t = 12_345.678
+    vector = pop.read_all(t)
+    for i in range(50):
+        assert vector[i] == pytest.approx(pop.clock(i).read(t))
+
+
+def test_read_all_reuses_buffer(rng):
+    pop = ClockPopulation.sample(10, rng)
+    out = np.empty(10)
+    result = pop.read_all(55.0, out=out)
+    assert result is out
+
+
+def test_from_clocks_round_trip():
+    clocks = [HardwareClock(rate=1.0 + i * 1e-6, initial_offset=i) for i in range(5)]
+    pop = ClockPopulation.from_clocks(clocks)
+    assert pop.clock(3).rate == clocks[3].rate
+    assert pop.clock(3).initial_offset == clocks[3].initial_offset
+
+
+def test_fastest_is_max_rate(rng):
+    pop = ClockPopulation.sample(100, rng)
+    assert pop.rates[pop.fastest()] == pop.rates.max()
+
+
+def test_max_pairwise_spread_grows_linearly(rng):
+    pop = ClockPopulation.sample(100, rng, drift_ppm=100.0)
+    s1 = pop.max_pairwise_spread(1.0 * S)
+    s10 = pop.max_pairwise_spread(10.0 * S)
+    assert s10 == pytest.approx(10 * s1, rel=1e-6)
+    # ~2 * 100 ppm spread over 1 s is ~200 us with 100 nodes sampled
+    assert 100.0 < s1 <= 200.0
+
+
+def test_shape_validation():
+    with pytest.raises(ValueError):
+        ClockPopulation(np.ones(3), np.zeros(4))
+    with pytest.raises(ValueError):
+        ClockPopulation(np.array([1.0, -0.5]), np.zeros(2))

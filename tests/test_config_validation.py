@@ -1,0 +1,100 @@
+"""Exhaustive validation tests on every public config dataclass."""
+
+import pytest
+
+from repro.core.config import SstspConfig
+from repro.network.ibss import AttackerSpec, ScenarioSpec
+from repro.network.runner import RunnerParams
+from repro.phy.params import PhyParams
+
+
+class TestSstspConfig:
+    def test_defaults_paper_values(self):
+        config = SstspConfig()
+        assert config.beacon_period_us == 100_000.0
+        assert config.w == 30
+        assert config.l == 1
+        assert config.m == 2
+        assert config.optimal_m == 4
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"beacon_period_us": 0},
+            {"w": -1},
+            {"slot_time_us": 0},
+            {"l": 0},
+            {"m": 0},
+            {"guard_fine_us": 0},
+            {"guard_coarse_us": 0},
+            {"guard_fine_us": 5_000.0},  # looser than coarse: inverted
+            {"coarse_min_samples": 0},
+            {"k_clamp": 0.0},
+            {"k_clamp": 1.5},
+            {"recovery_rejection_threshold": 0},
+            {"reference_pace_clamp": 0.0},
+            {"reference_pace_clamp": 0.5},  # above k_clamp
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SstspConfig(**kwargs)
+
+    def test_recovery_threshold_none_allowed(self):
+        assert SstspConfig(recovery_rejection_threshold=None).recovery_rejection_threshold is None
+        assert SstspConfig(recovery_rejection_threshold=5).recovery_rejection_threshold == 5
+
+    def test_frozen(self):
+        config = SstspConfig()
+        with pytest.raises(AttributeError):
+            config.m = 3
+
+
+class TestPhyParams:
+    def test_loss_model_validated(self):
+        PhyParams(loss_model="per_receiver")
+        PhyParams(loss_model="per_transmission")
+        with pytest.raises(ValueError):
+            PhyParams(loss_model="quantum")
+
+    def test_timestamp_jitter_nonnegative(self):
+        with pytest.raises(ValueError):
+            PhyParams(timestamp_jitter_us=-1.0)
+
+
+class TestScenarioSpec:
+    def test_periods_property(self):
+        assert ScenarioSpec(n=5, duration_s=2.5).periods == 25
+
+    def test_attacker_spec_defaults(self):
+        spec = AttackerSpec()
+        assert spec.start_s == 400.0 and spec.end_s == 600.0
+        assert spec.lead_slots == 5.0
+        assert spec.error_offset_us == 50_000.0
+        assert spec.shave_per_period_us == 40.0
+
+    def test_churn_preset_validated_at_build(self):
+        from repro.network.ibss import build_network
+
+        with pytest.raises(ValueError):
+            build_network(
+                "tsf", ScenarioSpec(n=5, duration_s=1.0, churn="weird")
+            )
+
+
+class TestRunnerParams:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"beacon_period_us": 0},
+            {"periods": 0},
+            {"sample_offset_fraction": 0.0},
+            {"sample_offset_fraction": 1.0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RunnerParams(**kwargs)
+
+    def test_keep_values_default_off(self):
+        assert RunnerParams().keep_values is False

@@ -1,0 +1,142 @@
+"""Unit tests for the crypto backends, including decision equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.core.backend import (
+    BeaconVerdict,
+    FullCryptoBackend,
+    ModeledCryptoBackend,
+)
+from repro.crypto.mutesla import IntervalSchedule
+from repro.mac.beacon import SecureBeaconFrame
+
+BP = 100_000.0
+N = 64
+
+
+@pytest.fixture
+def sched():
+    return IntervalSchedule(0.0, BP, N)
+
+
+@pytest.fixture(params=["full", "modeled"])
+def backend(request, sched, rng):
+    if request.param == "full":
+        b = FullCryptoBackend(sched, rng)
+    else:
+        b = ModeledCryptoBackend(sched)
+    b.register_node(1)
+    b.register_node(2)
+    return b
+
+
+class TestBackends:
+    def test_round_trip_releases_previous_interval(self, backend):
+        f1 = backend.make_frame(1, 1, 100_000.0)
+        v1 = backend.process(9, f1, local_time_us=1 * BP)
+        assert v1.accepted and v1.authenticated_intervals == ()
+        f2 = backend.make_frame(1, 2, 200_000.0)
+        v2 = backend.process(9, f2, local_time_us=2 * BP)
+        assert v2.accepted and v2.authenticated_intervals == (1,)
+
+    def test_unknown_sender_rejected(self, backend):
+        frame = SecureBeaconFrame(
+            sender=77, timestamp_us=0.0, interval=1,
+            mac_tag=b"x" * 16, disclosed_key=b"y" * 16,
+        )
+        verdict = backend.process(9, frame, 1 * BP)
+        assert not verdict.accepted and verdict.reason == "unknown_sender"
+
+    def test_stale_interval_rejected(self, backend):
+        frame = backend.make_frame(1, 1, 100_000.0)
+        verdict = backend.process(9, frame, local_time_us=3 * BP)
+        assert not verdict.accepted and verdict.reason == "unsafe_interval"
+
+    def test_forged_key_rejected(self, backend):
+        good = backend.make_frame(1, 1, 100_000.0)
+        forged = SecureBeaconFrame(
+            sender=1, timestamp_us=good.timestamp_us, interval=1,
+            mac_tag=good.mac_tag, disclosed_key=b"\x00" * 16,
+        )
+        verdict = backend.process(9, forged, 1 * BP)
+        assert not verdict.accepted and verdict.reason == "bad_key"
+
+    def test_tampered_timestamp_never_authenticates(self, backend):
+        good = backend.make_frame(1, 1, 100_000.0)
+        tampered = SecureBeaconFrame(
+            sender=1, timestamp_us=good.timestamp_us + 999.0, interval=1,
+            mac_tag=good.mac_tag, disclosed_key=good.disclosed_key,
+        )
+        assert backend.process(9, tampered, 1 * BP).accepted  # buffered...
+        v2 = backend.process(9, backend.make_frame(1, 2, 200_000.0), 2 * BP)
+        assert v2.authenticated_intervals == ()  # ...but MAC fails silently
+
+    def test_receivers_are_independent(self, backend):
+        f1 = backend.make_frame(1, 1, 100_000.0)
+        backend.process(8, f1, 1 * BP)
+        # receiver 9 never saw interval 1: nothing released for it
+        f2 = backend.make_frame(1, 2, 200_000.0)
+        assert backend.process(9, f2, 2 * BP).authenticated_intervals == ()
+        assert backend.process(8, f2, 2 * BP).authenticated_intervals == (1,)
+
+    def test_senders_are_independent(self, backend):
+        backend.process(9, backend.make_frame(1, 1, 100_000.0), 1 * BP)
+        v = backend.process(9, backend.make_frame(2, 2, 200_000.0), 2 * BP)
+        assert v.accepted and v.authenticated_intervals == ()
+
+    def test_lost_interval_recovered(self, backend):
+        backend.process(9, backend.make_frame(1, 1, 100_000.0), 1 * BP)
+        # interval 2 lost
+        v = backend.process(9, backend.make_frame(1, 3, 300_000.0), 3 * BP)
+        assert v.authenticated_intervals == (1,)
+
+
+class TestModeledSpecifics:
+    def test_unregistered_sender_cannot_make_frames(self, sched):
+        backend = ModeledCryptoBackend(sched)
+        with pytest.raises(ValueError):
+            backend.make_frame(5, 1, 0.0)
+
+    def test_frame_sizes_match_paper(self, sched):
+        backend = ModeledCryptoBackend(sched)
+        backend.register_node(1)
+        assert backend.make_frame(1, 1, 0.0).size_bytes == 92
+
+
+def test_backend_equivalence_randomised(sched, rng):
+    """Both backends must produce identical verdict sequences on a shared
+    randomised scenario of honest frames, replays, forgeries and losses."""
+    full = FullCryptoBackend(sched, np.random.default_rng(0))
+    modeled = ModeledCryptoBackend(sched)
+    for node in (1, 2):
+        full.register_node(node)
+        modeled.register_node(node)
+
+    history = {"full": [], "modeled": []}
+    stored = {"full": [], "modeled": []}
+    for j in range(1, 40):
+        local = j * BP + rng.uniform(-100, 100)
+        action = rng.choice(["honest", "replay", "forge", "skip", "stale"])
+        replay_pick = rng.random()  # one draw shared by both backends
+        for name, backend in (("full", full), ("modeled", modeled)):
+            if action == "honest":
+                frame = backend.make_frame(1, j, float(j * BP))
+                stored[name].append(frame)
+            elif action == "replay" and stored[name]:
+                frame = stored[name][int(replay_pick * len(stored[name]))]
+            elif action == "forge":
+                frame = SecureBeaconFrame(
+                    sender=1, timestamp_us=float(j * BP), interval=j,
+                    mac_tag=b"f" * 16, disclosed_key=b"g" * 16,
+                )
+            elif action == "stale":
+                frame = backend.make_frame(2, max(1, j - 2), float(j * BP))
+            else:
+                history[name].append(("skip",))
+                continue
+            verdict = backend.process(9, frame, local)
+            history[name].append(
+                (verdict.accepted, verdict.reason, verdict.authenticated_intervals)
+            )
+    assert history["full"] == history["modeled"]

@@ -1,0 +1,88 @@
+"""Unit tests for the guard-time policy and the coarse synchronizer."""
+
+import pytest
+
+from repro.core.coarse import CoarseSynchronizer
+from repro.core.config import SstspConfig
+from repro.core.guard import GuardPolicy
+
+
+class TestGuard:
+    def test_accepts_within_threshold(self):
+        guard = GuardPolicy(threshold_us=250.0)
+        assert guard.check(1_000.0, 1_200.0)
+        assert guard.check(1_000.0, 800.0)
+        assert guard.stats.accepted == 2
+
+    def test_rejects_beyond_threshold(self):
+        guard = GuardPolicy(threshold_us=250.0)
+        assert not guard.check(1_000.0, 1_300.0)
+        assert guard.stats.rejected == 1
+        assert guard.stats.total == 1
+
+    def test_boundary_inclusive(self):
+        guard = GuardPolicy(threshold_us=250.0)
+        assert guard.check(0.0, 250.0)
+
+    def test_margin(self):
+        guard = GuardPolicy(threshold_us=100.0)
+        assert guard.margin(0.0, 40.0) == pytest.approx(60.0)
+        assert guard.margin(0.0, 140.0) == pytest.approx(-40.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GuardPolicy(threshold_us=0.0)
+
+
+class TestCoarse:
+    def make(self, **kw):
+        return CoarseSynchronizer(SstspConfig(**kw))
+
+    def test_averages_clean_offsets(self):
+        coarse = self.make(coarse_min_samples=3)
+        for offset in [100.0, 110.0, 90.0]:
+            coarse.add_sample(offset)
+        assert coarse.try_finish() == pytest.approx(100.0)
+
+    def test_waits_for_enough_samples(self):
+        coarse = self.make(coarse_min_samples=3)
+        coarse.add_sample(100.0)
+        coarse.tick_period()
+        assert coarse.try_finish() is None
+
+    def test_filters_malicious_offsets(self):
+        coarse = self.make(coarse_min_samples=4, guard_coarse_us=500.0)
+        for offset in [100.0, 110.0, 90.0, 99_000.0]:
+            coarse.add_sample(offset)
+        assert coarse.try_finish() == pytest.approx(100.0)
+        assert coarse.samples_rejected == 1
+
+    def test_timeout_with_partial_samples(self):
+        coarse = self.make(coarse_min_samples=5, coarse_max_periods=3)
+        coarse.add_sample(42.0)
+        for _ in range(3):
+            coarse.tick_period()
+        assert coarse.try_finish() == pytest.approx(42.0)
+
+    def test_timeout_without_samples_keeps_scanning(self):
+        coarse = self.make(coarse_min_samples=5, coarse_max_periods=3)
+        for _ in range(5):
+            coarse.tick_period()
+        assert coarse.try_finish() is None
+
+    def test_gesd_option(self):
+        coarse = self.make(
+            coarse_min_samples=12, coarse_use_gesd=True, guard_coarse_us=5_000.0
+        )
+        for offset in [10.0, 11.0, 9.0, 10.5, 9.5, 10.2, 9.8, 10.1, 9.9, 10.0, 10.3]:
+            coarse.add_sample(offset)
+        coarse.add_sample(2_000.0)  # inside the loose threshold, caught by GESD
+        result = coarse.try_finish()
+        assert result == pytest.approx(10.03, abs=0.5)
+
+    def test_counters(self):
+        coarse = self.make(coarse_min_samples=2)
+        coarse.add_sample(1.0)
+        coarse.tick_period()
+        assert coarse.samples_collected == 1
+        assert coarse.periods_scanned == 1

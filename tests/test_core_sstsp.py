@@ -1,0 +1,233 @@
+"""Unit tests for the SSTSP protocol driver state machine and pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.backend import ModeledCryptoBackend
+from repro.core.config import SstspConfig
+from repro.core.sstsp import SstspProtocol, SstspState
+from repro.crypto.mutesla import IntervalSchedule
+from repro.mac.beacon import BeaconFrame, SecureBeaconFrame
+from repro.protocols.base import ClockKind, RxContext
+
+BP = 100_000.0
+
+
+@pytest.fixture
+def config():
+    return SstspConfig(l=1, m=2)
+
+
+@pytest.fixture
+def backend(config):
+    schedule = IntervalSchedule(config.t0_us, config.beacon_period_us, 512)
+    backend = ModeledCryptoBackend(schedule)
+    for node in range(8):
+        backend.register_node(node)
+    return backend
+
+
+def make_node(node_id, config, backend, founding=True, seed=None):
+    return SstspProtocol(
+        node_id, config, backend,
+        np.random.default_rng(node_id if seed is None else seed),
+        founding=founding,
+    )
+
+
+def honest_beacon(backend, sender, period, timestamp=None):
+    ts = period * BP if timestamp is None else timestamp
+    return backend.make_frame(sender, period, ts)
+
+
+def rx_at(period, hw_offset=10.0, est=None):
+    hw = period * BP + hw_offset
+    return RxContext(
+        true_time=hw, hw_time=hw,
+        est_timestamp=period * BP + 64.0 if est is None else est,
+        period=period,
+    )
+
+
+class TestStateMachine:
+    def test_founding_node_contends_immediately(self, config, backend):
+        proto = make_node(1, config, backend)
+        intent = proto.begin_period(1)
+        assert intent is not None
+        assert proto.state is SstspState.CONTENDING
+        assert intent.clock is ClockKind.ADJUSTED
+        delay = intent.local_time - BP
+        assert 0 <= delay <= config.w * config.slot_time_us
+
+    def test_winner_becomes_reference(self, config, backend):
+        proto = make_node(1, config, backend)
+        proto.begin_period(1)
+        proto.end_period(1, heard_beacon=False, transmitted=True, tx_success=True)
+        assert proto.state is SstspState.REFERENCE
+        assert proto.current_ref == 1
+
+    def test_reference_beacons_every_period_without_delay(self, config, backend):
+        proto = make_node(1, config, backend)
+        proto.begin_period(1)
+        proto.end_period(1, False, True, True)
+        for m in range(2, 6):
+            intent = proto.begin_period(m)
+            assert intent.local_time == pytest.approx(m * BP)
+
+    def test_loser_returns_to_synced(self, config, backend):
+        proto = make_node(1, config, backend)
+        proto.begin_period(1)
+        proto.on_beacon(honest_beacon(backend, 2, 1), rx_at(1))
+        proto.end_period(1, True, False, False)
+        assert proto.state is SstspState.SYNCED
+        assert proto.current_ref == 2
+
+    def test_collision_keeps_contending(self, config, backend):
+        proto = make_node(1, config, backend)
+        proto.begin_period(1)
+        proto.end_period(1, heard_beacon=False, transmitted=True, tx_success=False)
+        assert proto.state is SstspState.CONTENDING
+        assert proto.begin_period(2) is not None
+
+    def test_silence_triggers_election_after_l(self, config, backend):
+        proto = make_node(1, config, backend)
+        proto.begin_period(1)
+        proto.on_beacon(honest_beacon(backend, 2, 1), rx_at(1))
+        proto.end_period(1, True, False, False)
+        assert proto.begin_period(2) is None  # synced, reference alive
+        proto.end_period(2, False, False, False)  # missed one beacon (l=1)
+        assert proto.begin_period(3) is not None
+        assert proto.state is SstspState.CONTENDING
+
+    def test_reference_steps_down_on_foreign_valid_beacon(self, config, backend):
+        proto = make_node(1, config, backend)
+        proto.begin_period(1)
+        proto.end_period(1, False, True, True)
+        proto.begin_period(2)
+        proto.on_beacon(honest_beacon(backend, 2, 2), rx_at(2))
+        proto.end_period(2, True, False, False)
+        assert proto.state is SstspState.SYNCED
+
+    def test_invalid_beacon_does_not_suppress_election(self, config, backend):
+        proto = make_node(1, config, backend)
+        proto.begin_period(1)
+        proto.on_beacon(honest_beacon(backend, 2, 1), rx_at(1))
+        proto.end_period(1, True, False, False)
+        # forged beacon (unknown sender) at period 2: pipeline rejects it
+        forged = SecureBeaconFrame(
+            sender=999, timestamp_us=2 * BP, interval=2,
+            mac_tag=b"f" * 16, disclosed_key=b"f" * 16,
+        )
+        proto.on_beacon(forged, rx_at(2))
+        proto.end_period(2, True, False, False)
+        assert proto.begin_period(3) is not None  # silence detected anyway
+
+    def test_plain_tsf_beacon_ignored(self, config, backend):
+        proto = make_node(1, config, backend)
+        proto.begin_period(1)
+        proto.on_beacon(BeaconFrame(sender=3, timestamp_us=1 * BP), rx_at(1))
+        proto.end_period(1, True, False, False)
+        assert proto.state is SstspState.CONTENDING  # not counted as heard
+
+
+class TestPipeline:
+    def run_reference_stream(self, proto, backend, periods, sender=2, jitter=0.0):
+        for m in range(1, periods + 1):
+            frame = honest_beacon(backend, sender, m)
+            proto.on_beacon(frame, rx_at(m, est=m * BP + 64.0 + jitter))
+            proto.end_period(m, True, False, False)
+
+    def test_adjustment_starts_at_third_beacon(self, config, backend):
+        proto = make_node(1, config, backend)
+        self.run_reference_stream(proto, backend, 2)
+        assert proto.stats.adjustments == 0
+        self.run_reference_stream(proto, backend, 3)
+        # note: stream restarted at period 1 is stale; use a fresh node
+        proto = make_node(1, config, backend)
+        for m in range(1, 4):
+            proto.on_beacon(honest_beacon(backend, 2, m), rx_at(m))
+            proto.end_period(m, True, False, False)
+        assert proto.stats.adjustments == 1
+
+    def test_guard_rejected_beacon_never_becomes_sample(self, config, backend):
+        proto = make_node(1, config, backend)
+        proto.on_beacon(honest_beacon(backend, 2, 1), rx_at(1))
+        # period 2: timestamp wildly off -> guard rejects
+        bad = backend.make_frame(2, 2, 2 * BP + 100_000.0)
+        proto.on_beacon(bad, rx_at(2, est=2 * BP + 100_000.0))
+        assert proto.stats.rejected_guard == 1
+        # period 3 releases intervals 1 and 2; only 1 has a stored record
+        proto.on_beacon(honest_beacon(backend, 2, 3), rx_at(3))
+        assert all(
+            s.interval != 2 for s in proto._samples[2]
+        )
+
+    def test_reference_change_resets_samples(self, config, backend):
+        proto = make_node(1, config, backend)
+        for m in range(1, 4):
+            proto.on_beacon(honest_beacon(backend, 2, m), rx_at(m))
+        assert len(proto._samples[2]) == 2
+        proto.on_beacon(honest_beacon(backend, 3, 4), rx_at(4))
+        assert 2 not in proto._samples
+
+    def test_adjusted_clock_continuous_and_monotone(self, config, backend):
+        proto = make_node(1, config, backend)
+        for m in range(1, 30):
+            proto.on_beacon(honest_beacon(backend, 2, m), rx_at(m))
+            proto.end_period(m, True, False, False)
+        assert proto.stats.adjustments > 20
+        assert proto.clock.is_monotonic(0.0, 30 * BP)
+
+    def test_converges_to_reference_timeline(self, config, backend):
+        proto = make_node(1, config, backend)
+        for m in range(1, 40):
+            proto.on_beacon(honest_beacon(backend, 2, m), rx_at(m))
+            proto.end_period(m, True, False, False)
+        # adjusted clock at reception of beacon m equals the estimated
+        # reference timestamp (the convergence target of equation (3))
+        hw = 39 * BP + 10.0
+        assert proto.clock.read_current(hw) == pytest.approx(39 * BP + 64.0, abs=2.0)
+
+    def test_stats_rejections_by_reason(self, config, backend):
+        proto = make_node(1, config, backend)
+        stale = honest_beacon(backend, 2, 1)
+        proto.on_beacon(stale, rx_at(5))  # replay: stale interval
+        assert proto.stats.rejections_by_reason == {"unsafe_interval": 1}
+
+
+class TestJoinerAndChurn:
+    def test_joiner_starts_in_coarse(self, config, backend):
+        proto = make_node(1, config, backend, founding=False)
+        assert proto.state is SstspState.COARSE
+        assert proto.begin_period(1) is None
+
+    def test_joiner_acquires_offset_then_syncs(self, config, backend):
+        proto = make_node(1, config, backend, founding=False)
+        # joiner's clock is 400 us behind network time
+        for m in range(1, 5):
+            hw = m * BP - 400.0
+            rx = RxContext(hw, hw, est_timestamp=m * BP + 64.0, period=m)
+            proto.on_beacon(honest_beacon(backend, 2, m), rx)
+            proto.end_period(m, True, False, False)
+            if proto.state is not SstspState.COARSE:
+                break
+        assert proto.state is SstspState.SYNCED
+        hw = 4 * BP - 400.0
+        assert proto.clock.read_current(hw) == pytest.approx(4 * BP + 64.0, abs=25.0)
+
+    def test_on_return_reenters_coarse(self, config, backend):
+        proto = make_node(1, config, backend)
+        proto.begin_period(1)
+        proto.end_period(1, False, True, True)
+        proto.on_leave(5)
+        assert proto.state is SstspState.SYNCED
+        proto.on_return(50)
+        assert proto.state is SstspState.COARSE
+        assert proto._samples == {}
+
+    def test_reference_stops_beaconing_after_leave(self, config, backend):
+        proto = make_node(1, config, backend)
+        proto.begin_period(1)
+        proto.end_period(1, False, True, True)
+        proto.on_leave(3)
+        assert proto.state is not SstspState.REFERENCE

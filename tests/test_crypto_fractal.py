@@ -1,0 +1,98 @@
+"""Unit tests for the fractal hash-chain traversal."""
+
+import math
+
+import pytest
+
+from repro.crypto.fractal import FractalHashChain, FractalTraversal
+from repro.crypto.hashchain import DenseHashChain
+
+SEED = b"\x22" * 16
+
+
+class TestFractalTraversal:
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 8, 64, 100, 1024])
+    def test_emits_descending_and_matches_dense(self, n):
+        dense = DenseHashChain(SEED, n)
+        trav = FractalTraversal(SEED, n)
+        assert trav.anchor == dense.anchor
+        expected = n - 1
+        for pos, value in trav:
+            assert pos == expected
+            assert value == dense.element(pos)
+            expected -= 1
+        assert expected == -1
+
+    def test_exhaustion_raises(self):
+        trav = FractalTraversal(SEED, 2)
+        trav.next(), trav.next()
+        with pytest.raises(StopIteration):
+            trav.next()
+
+    @pytest.mark.parametrize("n", [16, 256, 1024, 4096])
+    def test_storage_logarithmic(self, n):
+        trav = FractalTraversal(SEED, n)
+        bound = math.ceil(math.log2(n)) + 2
+        for _ in range(n):
+            trav.next()
+            assert trav.storage_elements() <= bound
+        assert trav.max_resident <= bound
+
+    @pytest.mark.parametrize("n", [64, 1024])
+    def test_amortised_log_work(self, n):
+        trav = FractalTraversal(SEED, n)
+        for _ in range(n):
+            trav.next()
+        # total work <= ~ n * (log2(n)/2 + 2), counting the anchor pass
+        assert trav.hash_operations <= n * (math.log2(n) / 2 + 2) + n
+
+    def test_remaining(self):
+        trav = FractalTraversal(SEED, 8)
+        assert trav.remaining == 8
+        trav.next()
+        assert trav.remaining == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FractalTraversal(SEED, 0)
+
+
+class TestFractalHashChain:
+    def test_matches_dense(self):
+        dense = DenseHashChain(SEED, 64)
+        fractal = FractalHashChain(SEED, 64)
+        assert fractal.anchor == dense.anchor
+        # uTESLA access pattern: key(j) then disclosed(j) per interval
+        for j in range(1, 64):
+            assert fractal.key_for_interval(j) == dense.key_for_interval(j)
+            assert (
+                fractal.disclosed_key_for_interval(j)
+                == dense.disclosed_key_for_interval(j)
+            )
+
+    def test_utesla_pattern_needs_no_fallback(self):
+        fractal = FractalHashChain(SEED, 128)
+        for j in range(1, 128):
+            fractal.key_for_interval(j)
+            fractal.disclosed_key_for_interval(j)
+        assert fractal.fallback_hash_operations == 0
+
+    def test_out_of_order_access_falls_back(self):
+        dense = DenseHashChain(SEED, 64)
+        fractal = FractalHashChain(SEED, 64)
+        fractal.key_for_interval(10)  # traversal now below position 54
+        assert fractal.element(60) == dense.element(60)  # re-derived from seed
+        assert fractal.fallback_hash_operations == 60
+
+    def test_storage_small(self):
+        fractal = FractalHashChain(SEED, 1024)
+        for j in range(1, 200):
+            fractal.key_for_interval(j)
+            fractal.disclosed_key_for_interval(j)
+        # traversal pebbles + recent window + anchor
+        assert fractal.storage_elements() <= math.ceil(math.log2(1024)) + 2 + 5
+
+    def test_element_bounds(self):
+        fractal = FractalHashChain(SEED, 8)
+        with pytest.raises(ValueError):
+            fractal.element(9)

@@ -1,0 +1,164 @@
+"""Unit tests for hash primitives and chains."""
+
+import pytest
+
+from repro.crypto.hashchain import (
+    DenseHashChain,
+    HashChainRegistry,
+    SeedOnlyHashChain,
+    verify_element,
+)
+from repro.crypto.primitives import (
+    HASH_BYTES,
+    constant_time_eq,
+    hash128,
+    hash128_iter,
+    hmac128,
+)
+
+SEED = b"\x11" * 16
+
+
+class TestPrimitives:
+    def test_hash_width(self):
+        assert len(hash128(b"x")) == HASH_BYTES == 16
+
+    def test_hash_deterministic_and_distinct(self):
+        assert hash128(b"a") == hash128(b"a")
+        assert hash128(b"a") != hash128(b"b")
+
+    def test_hash_iter(self):
+        assert hash128_iter(b"s", 0) == b"s"
+        assert hash128_iter(SEED, 3) == hash128(hash128(hash128(SEED)))
+        with pytest.raises(ValueError):
+            hash128_iter(b"s", -1)
+
+    def test_hmac(self):
+        tag = hmac128(b"key", b"data")
+        assert len(tag) == HASH_BYTES
+        assert tag == hmac128(b"key", b"data")
+        assert tag != hmac128(b"key2", b"data")
+        assert tag != hmac128(b"key", b"data2")
+
+    def test_constant_time_eq(self):
+        assert constant_time_eq(b"ab", b"ab")
+        assert not constant_time_eq(b"ab", b"ac")
+
+
+class TestChains:
+    def test_dense_and_seed_only_agree(self):
+        dense = DenseHashChain(SEED, 100)
+        lazy = SeedOnlyHashChain(SEED, 100)
+        for j in [0, 1, 50, 99, 100]:
+            assert dense.element(j) == lazy.element(j)
+
+    def test_chain_property(self):
+        chain = DenseHashChain(SEED, 10)
+        for j in range(10):
+            assert hash128(chain.element(j)) == chain.element(j + 1)
+
+    def test_anchor_is_last_element(self):
+        chain = DenseHashChain(SEED, 20)
+        assert chain.anchor == chain.element(20)
+
+    def test_interval_key_assignment(self):
+        # key of interval j is h^{n-j}; disclosure is h^{n-j+1} = key(j-1)
+        chain = DenseHashChain(SEED, 16)
+        assert chain.key_for_interval(1) == chain.element(15)
+        assert chain.disclosed_key_for_interval(1) == chain.element(16)
+        assert chain.disclosed_key_for_interval(5) == chain.key_for_interval(4)
+
+    def test_interval_bounds(self):
+        chain = DenseHashChain(SEED, 8)
+        with pytest.raises(ValueError):
+            chain.key_for_interval(0)
+        with pytest.raises(ValueError):
+            chain.key_for_interval(9)
+
+    def test_element_bounds(self):
+        chain = DenseHashChain(SEED, 8)
+        with pytest.raises(ValueError):
+            chain.element(-1)
+        with pytest.raises(ValueError):
+            chain.element(9)
+
+    def test_storage_accounting(self):
+        assert DenseHashChain(SEED, 64).storage_elements() == 65
+        assert SeedOnlyHashChain(SEED, 64).storage_elements() == 1
+
+    def test_seed_only_counts_hash_ops(self):
+        chain = SeedOnlyHashChain(SEED, 64)
+        chain.element(10)
+        chain.element(5)
+        assert chain.hash_operations == 15
+
+    def test_arbitrary_seed_size_normalised(self):
+        chain = DenseHashChain(b"a-long-seed-that-is-not-16-bytes!", 4)
+        assert len(chain.element(0)) == HASH_BYTES
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DenseHashChain(SEED, 0)
+        with pytest.raises(ValueError):
+            DenseHashChain(b"", 4)
+
+
+class TestVerifyElement:
+    def test_valid_element_verifies(self):
+        chain = DenseHashChain(SEED, 32)
+        ok, cost = verify_element(chain.element(10), 10, chain.anchor, 32)
+        assert ok and cost == 22
+
+    def test_wrong_element_rejected(self):
+        chain = DenseHashChain(SEED, 32)
+        ok, _ = verify_element(b"\x00" * 16, 10, chain.anchor, 32)
+        assert not ok
+
+    def test_wrong_claimed_index_rejected(self):
+        chain = DenseHashChain(SEED, 32)
+        ok, _ = verify_element(chain.element(10), 11, chain.anchor, 32)
+        assert not ok
+
+    def test_out_of_range_index_rejected(self):
+        chain = DenseHashChain(SEED, 32)
+        assert verify_element(chain.element(1), -1, chain.anchor, 32)[0] is False
+        assert verify_element(chain.element(1), 33, chain.anchor, 32)[0] is False
+
+    def test_cache_reduces_cost(self):
+        chain = DenseHashChain(SEED, 512)
+        cached = (500, chain.element(500))
+        ok, cost = verify_element(chain.element(499), 499, chain.anchor, 512, cache=cached)
+        assert ok and cost == 1
+
+    def test_cache_exact_hit(self):
+        chain = DenseHashChain(SEED, 32)
+        cached = (10, chain.element(10))
+        ok, cost = verify_element(chain.element(10), 10, chain.anchor, 32, cache=cached)
+        assert ok and cost == 0
+
+    def test_stale_cache_falls_back_to_anchor(self):
+        chain = DenseHashChain(SEED, 32)
+        cached = (5, chain.element(5))  # below the claimed index: unusable
+        ok, cost = verify_element(chain.element(10), 10, chain.anchor, 32, cache=cached)
+        assert ok and cost == 22
+
+
+class TestRegistry:
+    def test_publish_and_lookup(self):
+        registry = HashChainRegistry()
+        registry.publish(3, b"a" * 16, 100)
+        assert registry.lookup(3) == (b"a" * 16, 100)
+        assert 3 in registry
+        assert registry.lookup(4) is None
+        assert len(registry) == 1
+
+    def test_republish_same_ok(self):
+        registry = HashChainRegistry()
+        registry.publish(3, b"a" * 16, 100)
+        registry.publish(3, b"a" * 16, 100)
+
+    def test_republish_different_rejected(self):
+        registry = HashChainRegistry()
+        registry.publish(3, b"a" * 16, 100)
+        with pytest.raises(ValueError):
+            registry.publish(3, b"b" * 16, 100)

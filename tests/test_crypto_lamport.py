@@ -1,0 +1,128 @@
+"""Tests for Lamport one-time signatures and the authenticated registry."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.lamport import (
+    DIGEST_BITS,
+    AuthenticatedRegistry,
+    LamportSignature,
+    LamportSigner,
+    verify,
+    _anchor_message,
+)
+
+
+@pytest.fixture
+def signer(rng):
+    return LamportSigner(rng)
+
+
+class TestLamport:
+    def test_sign_verify_round_trip(self, signer):
+        signature = signer.sign(b"anchor bytes")
+        assert verify(signer.public_key, b"anchor bytes", signature)
+
+    def test_wrong_message_rejected(self, signer):
+        signature = signer.sign(b"anchor bytes")
+        assert not verify(signer.public_key, b"anchor bytez", signature)
+
+    def test_wrong_key_rejected(self, rng, signer):
+        other = LamportSigner(np.random.default_rng(99))
+        signature = signer.sign(b"m")
+        assert not verify(other.public_key, b"m", signature)
+
+    def test_tampered_signature_rejected(self, signer):
+        signature = signer.sign(b"m")
+        reveals = list(signature.reveals)
+        reveals[7] = b"\x00" * 16
+        assert not verify(signer.public_key, b"m", LamportSignature(tuple(reveals)))
+
+    def test_one_time_property_enforced(self, signer):
+        signer.sign(b"first")
+        with pytest.raises(RuntimeError):
+            signer.sign(b"second")
+
+    def test_signature_width(self, signer):
+        signature = signer.sign(b"m")
+        assert len(signature.reveals) == DIGEST_BITS == 128
+
+    def test_fingerprint_stable(self, signer):
+        assert signer.public_key.fingerprint() == signer.public_key.fingerprint()
+
+    def test_malformed_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            LamportSignature((b"x",))
+
+
+class TestAuthenticatedRegistry:
+    def test_signed_publication_accepted(self, rng):
+        registry = AuthenticatedRegistry()
+        signer = LamportSigner(rng)
+        registry.enroll(5, signer.public_key)
+        anchor = b"\xaa" * 16
+        signature = signer.sign(_anchor_message(5, anchor, 100))
+        registry.publish(5, anchor, 100, signature)
+        assert registry.lookup(5) == (anchor, 100)
+        assert 5 in registry
+
+    def test_unenrolled_rejected(self, rng):
+        registry = AuthenticatedRegistry()
+        signer = LamportSigner(rng)
+        signature = signer.sign(_anchor_message(5, b"\xaa" * 16, 100))
+        with pytest.raises(PermissionError):
+            registry.publish(5, b"\xaa" * 16, 100, signature)
+
+    def test_forged_signature_rejected(self, rng):
+        registry = AuthenticatedRegistry()
+        victim = LamportSigner(rng)
+        registry.enroll(5, victim.public_key)
+        attacker = LamportSigner(np.random.default_rng(7))
+        forged = attacker.sign(_anchor_message(5, b"\xbb" * 16, 100))
+        with pytest.raises(PermissionError):
+            registry.publish(5, b"\xbb" * 16, 100, forged)
+
+    def test_signature_binds_anchor(self, rng):
+        registry = AuthenticatedRegistry()
+        signer = LamportSigner(rng)
+        registry.enroll(5, signer.public_key)
+        signature = signer.sign(_anchor_message(5, b"\xaa" * 16, 100))
+        # replaying the signature over a different anchor fails
+        with pytest.raises(PermissionError):
+            registry.publish(5, b"\xcc" * 16, 100, signature)
+
+    def test_anchor_swap_rejected(self, rng):
+        registry = AuthenticatedRegistry()
+        a = LamportSigner(np.random.default_rng(1))
+        b = LamportSigner(np.random.default_rng(2))
+        # a station with two enrolled keys could try swapping anchors; the
+        # registry pins the first published anchor regardless
+        registry.enroll(5, a.public_key)
+        registry.publish(5, b"\xaa" * 16, 100, a.sign(_anchor_message(5, b"\xaa" * 16, 100)))
+        registry._public_keys[5] = b.public_key  # simulate re-enrollment abuse
+        with pytest.raises(ValueError):
+            registry.publish(5, b"\xdd" * 16, 100, b.sign(_anchor_message(5, b"\xdd" * 16, 100)))
+
+    def test_conflicting_enrollment_rejected(self, rng):
+        registry = AuthenticatedRegistry()
+        registry.enroll(5, LamportSigner(np.random.default_rng(1)).public_key)
+        with pytest.raises(ValueError):
+            registry.enroll(5, LamportSigner(np.random.default_rng(2)).public_key)
+
+
+class TestBackendIntegration:
+    def test_full_backend_with_authenticated_anchors(self, rng):
+        """End to end: Lamport-signed anchor publication feeding uTESLA."""
+        from repro.core.backend import FullCryptoBackend
+        from repro.crypto.mutesla import IntervalSchedule
+
+        schedule = IntervalSchedule(0.0, 100_000.0, 64)
+        backend = FullCryptoBackend(schedule, rng, authenticated_anchors=True)
+        backend.register_node(1)
+        assert 1 in backend._auth_registry
+        assert backend._auth_registry.lookup(1) == backend.registry.lookup(1)
+        # the uTESLA pipeline runs unchanged on top
+        frame1 = backend.make_frame(1, 1, 100_000.0)
+        assert backend.process(9, frame1, 100_000.0).accepted
+        frame2 = backend.make_frame(1, 2, 200_000.0)
+        assert backend.process(9, frame2, 200_000.0).authenticated_intervals == (1,)

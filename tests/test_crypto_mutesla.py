@@ -1,0 +1,161 @@
+"""Unit tests for the uTESLA broadcast authentication scheme."""
+
+import pytest
+
+from repro.crypto.hashchain import DenseHashChain
+from repro.crypto.mutesla import (
+    IntervalSchedule,
+    MuTeslaReceiver,
+    MuTeslaSender,
+    SecuredPacket,
+)
+
+SEED = b"\x33" * 16
+N = 64
+BP = 100.0
+
+
+@pytest.fixture
+def chain():
+    return DenseHashChain(SEED, N)
+
+
+@pytest.fixture
+def sched():
+    return IntervalSchedule(t0_us=0.0, interval_us=BP, length=N)
+
+
+@pytest.fixture
+def sender(chain, sched):
+    return MuTeslaSender(1, chain, sched)
+
+
+@pytest.fixture
+def receiver(chain, sched):
+    r = MuTeslaReceiver(sched)
+    r.register_sender(1, chain.anchor, N)
+    return r
+
+
+class TestIntervalSchedule:
+    def test_interval_of_rounds_to_nearest(self, sched):
+        assert sched.interval_of(100.0) == 1
+        assert sched.interval_of(149.0) == 1
+        assert sched.interval_of(151.0) == 2
+        assert sched.interval_of(100.0 * 5 + 3) == 5
+
+    def test_nominal_time(self, sched):
+        assert sched.nominal_time(7) == 700.0
+
+    def test_contains(self, sched):
+        assert sched.contains(1) and sched.contains(N)
+        assert not sched.contains(0) and not sched.contains(N + 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IntervalSchedule(0.0, 0.0, 10)
+        with pytest.raises(ValueError):
+            IntervalSchedule(0.0, 1.0, 0)
+
+
+class TestRoundTrip:
+    def test_delayed_authentication(self, sender, receiver):
+        p1 = sender.secure(b"m1", 1)
+        assert receiver.receive(1, p1, local_time_us=1 * BP) == []
+        released = receiver.receive(1, sender.secure(b"m2", 2), local_time_us=2 * BP)
+        assert len(released) == 1
+        assert released[0].payload == b"m1"
+        assert released[0].interval == 1
+        assert released[0].sender == 1
+
+    def test_stream_releases_every_previous(self, sender, receiver):
+        released = []
+        for j in range(1, 20):
+            released += receiver.receive(1, sender.secure(b"m%d" % j, j), j * BP)
+        assert [m.interval for m in released] == list(range(1, 19))
+
+    def test_lost_packet_recovered_by_key_derivation(self, sender, receiver):
+        receiver.receive(1, sender.secure(b"m1", 1), 1 * BP)
+        # packet 2 lost; packet 3 discloses K_2, from which K_1 derives
+        released = receiver.receive(1, sender.secure(b"m3", 3), 3 * BP)
+        assert [m.interval for m in released] == [1]
+
+    def test_unknown_sender_ignored(self, sender, sched):
+        fresh = MuTeslaReceiver(sched)
+        assert fresh.receive(1, sender.secure(b"m", 1), 1 * BP) == []
+
+    def test_sender_chain_length_must_match_schedule(self, chain):
+        bad = IntervalSchedule(0.0, BP, N + 1)
+        with pytest.raises(ValueError):
+            MuTeslaSender(1, chain, bad)
+
+    def test_secure_interval_bounds(self, sender):
+        with pytest.raises(ValueError):
+            sender.secure(b"m", 0)
+        with pytest.raises(ValueError):
+            sender.secure(b"m", N + 1)
+
+
+class TestSecurity:
+    def test_stale_interval_rejected(self, sender, receiver):
+        packet = sender.secure(b"m1", 1)
+        # delivered two intervals late: safety condition fails
+        assert receiver.receive(1, packet, local_time_us=3 * BP) == []
+        assert receiver.sender_stats(1).rejected_unsafe_interval == 1
+
+    def test_future_interval_rejected(self, sender, receiver):
+        packet = sender.secure(b"m5", 5)
+        assert receiver.receive(1, packet, local_time_us=1 * BP) == []
+        assert receiver.sender_stats(1).rejected_unsafe_interval == 1
+
+    def test_forged_key_rejected(self, sender, receiver):
+        good = sender.secure(b"m1", 1)
+        forged = SecuredPacket(good.payload, good.interval, good.mac_tag, b"\x00" * 16)
+        assert receiver.receive(1, forged, 1 * BP) == []
+        assert receiver.sender_stats(1).rejected_bad_key == 1
+
+    def test_tampered_payload_fails_mac(self, sender, receiver):
+        p1 = sender.secure(b"m1", 1)
+        tampered = SecuredPacket(b"EVIL", p1.interval, p1.mac_tag, p1.disclosed_key)
+        receiver.receive(1, tampered, 1 * BP)
+        receiver.receive(1, sender.secure(b"m2", 2), 2 * BP)
+        assert receiver.sender_stats(1).rejected_bad_mac == 1
+        assert receiver.sender_stats(1).authenticated == 0
+
+    def test_tampered_tag_fails_mac(self, sender, receiver):
+        p1 = sender.secure(b"m1", 1)
+        tampered = SecuredPacket(p1.payload, p1.interval, b"\x00" * 16, p1.disclosed_key)
+        receiver.receive(1, tampered, 1 * BP)
+        released = receiver.receive(1, sender.secure(b"m2", 2), 2 * BP)
+        assert released == []
+        assert receiver.sender_stats(1).rejected_bad_mac == 1
+
+    def test_key_verification_cache_used(self, sender, receiver):
+        for j in range(1, 6):
+            receiver.receive(1, sender.secure(b"m", j), j * BP)
+        # first verification walks to the anchor; later ones cost ~1 hash
+        stats = receiver.sender_stats(1)
+        assert stats.hash_operations < N + 10
+
+    def test_conflicting_anchor_registration_rejected(self, receiver):
+        with pytest.raises(ValueError):
+            receiver.register_sender(1, b"\x00" * 16, N)
+
+    def test_pending_buffer_bounded(self, sender, receiver):
+        # intervals received but never released accumulate at most MAX_PENDING
+        for j in range(1, 10):
+            packet = sender.secure(b"m%d" % j, j)
+            # sabotage the disclosed key so nothing ever releases/verifies
+            bad = SecuredPacket(packet.payload, packet.interval, packet.mac_tag, b"\x01" * 16)
+            receiver.receive(1, bad, j * BP)
+        assert receiver.sender_stats(1).rejected_bad_key == 9
+
+
+class TestReplayDefence:
+    def test_replayed_packet_rejected_next_interval(self, sender, receiver):
+        p1 = sender.secure(b"m1", 1)
+        receiver.receive(1, p1, 1 * BP)
+        receiver.receive(1, sender.secure(b"m2", 2), 2 * BP)
+        # attacker replays interval-1 packet during interval 3
+        assert receiver.receive(1, p1, 3 * BP) == []
+        assert receiver.sender_stats(1).rejected_unsafe_interval == 1

@@ -1,0 +1,151 @@
+"""Unit tests for beacon frames, units, and the fastlane plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.fastlane.common import ChurnDriver, VectorState, resolve_window
+from repro.mac.beacon import BeaconFrame, SecureBeaconFrame
+from repro.network.churn import REFERENCE_MARKER, ChurnEvent, ChurnSchedule
+from repro.network.ibss import ScenarioSpec
+from repro.sim.units import MS, S, US, s_to_us, us_to_s
+
+
+class TestUnits:
+    def test_constants(self):
+        assert US == 1.0
+        assert MS == 1_000.0
+        assert S == 1_000_000.0
+
+    def test_conversions_roundtrip(self):
+        assert us_to_s(s_to_us(12.5)) == 12.5
+        assert s_to_us(0.1) == 100_000.0
+
+
+class TestBeaconFrames:
+    def test_tsf_beacon_defaults(self):
+        frame = BeaconFrame(sender=3, timestamp_us=123.0)
+        assert frame.size_bytes == 56
+        assert b"B|3|" in frame.payload_for_mac()
+
+    def test_secure_beacon_wraps_inner(self):
+        frame = SecureBeaconFrame(
+            sender=3, timestamp_us=123.0, interval=7,
+            mac_tag=b"t" * 16, disclosed_key=b"k" * 16,
+        )
+        assert frame.size_bytes == 92
+        inner = frame.inner()
+        assert inner.sender == 3 and inner.timestamp_us == 123.0
+        assert frame.payload_for_mac().endswith(b"|7")
+
+    def test_payload_binds_timestamp(self):
+        a = SecureBeaconFrame(1, 100.0, 2, b"t" * 16, b"k" * 16)
+        b = SecureBeaconFrame(1, 100.5, 2, b"t" * 16, b"k" * 16)
+        assert a.payload_for_mac() != b.payload_for_mac()
+
+    def test_frames_are_immutable(self):
+        frame = BeaconFrame(sender=1, timestamp_us=1.0)
+        with pytest.raises(AttributeError):
+            frame.timestamp_us = 2.0
+
+
+class TestVectorState:
+    def test_from_spec_shapes(self):
+        spec = ScenarioSpec(n=10, seed=1, duration_s=1.0)
+        state = VectorState.from_spec(spec)
+        assert state.n == 10
+        assert state.present.all()
+
+    def test_extra_nodes(self):
+        spec = ScenarioSpec(n=10, seed=1, duration_s=1.0)
+        state = VectorState.from_spec(spec, extra_nodes=1)
+        assert state.n == 11
+
+    def test_hw_at_matches_linear_model(self):
+        spec = ScenarioSpec(n=5, seed=1, duration_s=1.0)
+        state = VectorState.from_spec(spec)
+        t = 123_456.0
+        expected = state.rates * t + state.offsets
+        assert np.allclose(state.hw_at(t), expected)
+
+    def test_reproducible(self):
+        spec = ScenarioSpec(n=5, seed=9, duration_s=1.0)
+        a = VectorState.from_spec(spec)
+        b = VectorState.from_spec(spec)
+        assert np.array_equal(a.rates, b.rates)
+
+
+class TestResolveWindow:
+    def test_single_candidate(self):
+        winner, start, collisions = resolve_window(
+            np.array([4]), np.array([100.0]), 63.0, 9.0
+        )
+        assert winner == 4 and start == 100.0 and collisions == 0
+
+    def test_empty(self):
+        winner, start, collisions = resolve_window(
+            np.array([], dtype=int), np.array([]), 63.0, 9.0
+        )
+        assert winner is None and start is None
+
+    def test_collision_counted(self):
+        winner, _, collisions = resolve_window(
+            np.array([1, 2]), np.array([0.0, 4.0]), 63.0, 9.0
+        )
+        assert winner is None and collisions == 1
+
+    def test_deferred_start_reported(self):
+        # 1 and 2 collide; 3 deferred to the busy end wins there
+        winner, start, _ = resolve_window(
+            np.array([1, 2, 3]), np.array([0.0, 4.0, 20.0]), 63.0, 9.0
+        )
+        assert winner == 3
+        assert start == pytest.approx(63.0)
+
+
+class TestChurnDriver:
+    def test_leave_and_return(self):
+        schedule = ChurnSchedule(
+            [ChurnEvent(5, "leave", (1,)), ChurnEvent(9, "return", (1,))]
+        )
+        driver = ChurnDriver(schedule)
+        present = np.ones(3, dtype=bool)
+        left, returned = [], []
+        driver.apply(5, present, lambda: -1, on_leave=left.append)
+        assert not present[1] and left == [1]
+        driver.apply(9, present, lambda: -1, on_return=returned.append)
+        assert present[1] and returned == [1]
+        assert len(driver.events) == 2
+
+    def test_reference_marker_resolution(self):
+        schedule = ChurnSchedule(
+            [
+                ChurnEvent(5, "leave", (REFERENCE_MARKER,)),
+                ChurnEvent(9, "return", (REFERENCE_MARKER,)),
+            ]
+        )
+        driver = ChurnDriver(schedule)
+        present = np.ones(3, dtype=bool)
+        driver.apply(5, present, lambda: 2)
+        assert not present[2]
+        driver.apply(9, present, lambda: -1)
+        assert present[2]
+
+    def test_marker_with_no_reference_noop(self):
+        schedule = ChurnSchedule([ChurnEvent(5, "leave", (REFERENCE_MARKER,))])
+        driver = ChurnDriver(schedule)
+        present = np.ones(3, dtype=bool)
+        driver.apply(5, present, lambda: -1)
+        assert present.all()
+
+    def test_none_schedule(self):
+        driver = ChurnDriver(None)
+        present = np.ones(2, dtype=bool)
+        driver.apply(1, present, lambda: -1)
+        assert present.all()
+
+    def test_out_of_range_ids_ignored(self):
+        schedule = ChurnSchedule([ChurnEvent(1, "leave", (99,))])
+        driver = ChurnDriver(schedule)
+        present = np.ones(3, dtype=bool)
+        driver.apply(1, present, lambda: -1)
+        assert present.all()

@@ -1,0 +1,177 @@
+"""Unit tests for nodes, churn schedules and the network runner."""
+
+import numpy as np
+import pytest
+
+from repro.clocks.oscillator import HardwareClock
+from repro.network.churn import REFERENCE_MARKER, ChurnEvent, ChurnSchedule
+from repro.network.ibss import AttackerSpec, ScenarioSpec, build_network
+from repro.network.node import Node
+from repro.protocols.base import ClockKind, TxIntent
+from repro.protocols.tsf import TsfConfig, TsfProtocol
+from repro.sim.units import S
+
+
+class TestNode:
+    def test_tsf_intent_inversion(self):
+        node = Node(1, HardwareClock(rate=1.0001, initial_offset=25.0))
+        node.protocol = TsfProtocol(1, node.timer, TsfConfig(), np.random.default_rng(0))
+        node.timer.set_forward(1_000.0, true_time=500.0)
+        intent = TxIntent(local_time=50_000.0, clock=ClockKind.TSF)
+        t = node.scheduled_true_time(intent)
+        assert node.timer.raw(t) == pytest.approx(50_000.0, abs=1e-6)
+
+    def test_hardware_intent_inversion(self):
+        node = Node(1, HardwareClock(rate=0.9999, initial_offset=-10.0))
+        intent = TxIntent(local_time=77_777.0, clock=ClockKind.HARDWARE)
+        t = node.scheduled_true_time(intent)
+        assert node.hw.read(t) == pytest.approx(77_777.0, abs=1e-6)
+
+    def test_adjusted_intent_inversion_fixed_point(self):
+        from repro.core.backend import ModeledCryptoBackend
+        from repro.core.config import SstspConfig
+        from repro.core.sstsp import SstspProtocol
+        from repro.crypto.mutesla import IntervalSchedule
+
+        config = SstspConfig()
+        backend = ModeledCryptoBackend(
+            IntervalSchedule(0.0, config.beacon_period_us, 64)
+        )
+        backend.register_node(1)
+        node = Node(1, HardwareClock(rate=1.00008, initial_offset=40.0))
+        node.protocol = SstspProtocol(1, config, backend, np.random.default_rng(0))
+        # give the adjusted clock a non-trivial segment
+        node.protocol.clock.slew_to(0.0, 1.0004, at_local_time=1_000.0)
+        intent = TxIntent(local_time=300_000.0, clock=ClockKind.ADJUSTED)
+        t = node.scheduled_true_time(intent)
+        assert node.protocol.synchronized_time(node.hw.read(t)) == pytest.approx(
+            300_000.0, abs=1e-3
+        )
+
+    def test_duplicate_ids_rejected(self):
+        from repro.network.runner import NetworkRunner, RunnerParams
+        from repro.phy.channel import BroadcastChannel
+        from repro.phy.params import PhyParams
+
+        nodes = [Node(1, HardwareClock()), Node(1, HardwareClock())]
+        channel = BroadcastChannel(PhyParams(), np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            NetworkRunner(nodes, channel, PhyParams(), RunnerParams(periods=1))
+
+
+class TestChurnSchedule:
+    def test_paper_default_shape(self, rng):
+        schedule = ChurnSchedule.paper_default(
+            node_ids=list(range(100)), total_periods=10_000, rng=rng
+        )
+        periods = schedule.periods()
+        # group leaves at 200/400/600/800 s -> periods 2000/4000/6000/8000
+        for expected in (2000, 4000, 6000, 8000):
+            assert expected in periods
+        # reference leaves at 300/500/800 s
+        for expected in (3000, 5000, 8000):
+            assert expected in periods
+        # returns 50 s after each leave
+        assert 2500 in periods and 3500 in periods
+
+    def test_group_size_is_five_percent(self, rng):
+        schedule = ChurnSchedule.paper_default(
+            node_ids=list(range(100)), total_periods=3_000, rng=rng
+        )
+        leaves = [e for e in schedule.events_for(2000) if e.action == "leave"]
+        assert len(leaves) == 1
+        assert len(leaves[0].node_ids) == 5
+
+    def test_short_horizon_has_no_events(self, rng):
+        schedule = ChurnSchedule.paper_default(
+            node_ids=list(range(10)), total_periods=100, rng=rng
+        )
+        assert len(schedule) == 0
+
+    def test_invalid_action_rejected(self):
+        with pytest.raises(ValueError):
+            ChurnEvent(1, "explode", (1,))
+
+
+class TestRunner:
+    def test_tsf_run_produces_full_trace(self):
+        spec = ScenarioSpec(n=10, seed=1, duration_s=5.0)
+        result = build_network("tsf", spec).run()
+        assert len(result.trace) == spec.periods
+        assert result.successful_beacons > 0
+        assert result.trace.present_counts.max() == 10
+
+    def test_sstsp_run_elects_single_reference(self):
+        spec = ScenarioSpec(n=10, seed=1, duration_s=5.0)
+        runner = build_network("sstsp", spec)
+        result = runner.run()
+        refs = [n for n in result.nodes if n.protocol.is_reference()]
+        assert len(refs) == 1
+        assert result.trace.reference_ids[-1] == refs[0].node_id
+
+    def test_reference_marker_resolution(self):
+        spec = ScenarioSpec(n=10, seed=2, duration_s=8.0)
+        runner = build_network("sstsp", spec)
+        runner.churn.add(ChurnEvent(30, "leave", (REFERENCE_MARKER,)))
+        runner.churn.add(ChurnEvent(50, "return", (REFERENCE_MARKER,)))
+        result = runner.run()
+        assert any("left" in e for e in result.events)
+        assert any("returned" in e for e in result.events)
+        # a replacement reference exists at the end
+        assert result.trace.reference_ids[-1] >= 0
+
+    def test_leave_reduces_present_count(self):
+        spec = ScenarioSpec(n=10, seed=3, duration_s=4.0)
+        runner = build_network("sstsp", spec)
+        runner.churn.add(ChurnEvent(10, "leave", (0, 1)))
+        result = runner.run()
+        assert result.trace.present_counts.min() == 8
+
+    def test_reference_marker_with_no_reference_is_noop(self):
+        spec = ScenarioSpec(n=5, seed=3, duration_s=1.0)
+        runner = build_network("tsf", spec)  # TSF has no reference concept
+        runner.churn.add(ChurnEvent(3, "leave", (REFERENCE_MARKER,)))
+        result = runner.run()
+        assert result.trace.present_counts.min() == 5
+
+    def test_deterministic_given_seed(self):
+        spec = ScenarioSpec(n=8, seed=11, duration_s=3.0)
+        a = build_network("sstsp", spec).run()
+        b = build_network("sstsp", spec).run()
+        assert np.array_equal(a.trace.max_diff_us, b.trace.max_diff_us)
+
+    def test_different_seeds_differ(self):
+        a = build_network("tsf", ScenarioSpec(n=8, seed=1, duration_s=3.0)).run()
+        b = build_network("tsf", ScenarioSpec(n=8, seed=2, duration_s=3.0)).run()
+        assert not np.array_equal(a.trace.max_diff_us, b.trace.max_diff_us)
+
+
+class TestBuilders:
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ValueError):
+            build_network("ntp", ScenarioSpec(n=5, duration_s=1.0))
+
+    def test_unknown_crypto_rejected(self):
+        with pytest.raises(ValueError):
+            build_network(
+                "sstsp", ScenarioSpec(n=5, duration_s=1.0), crypto="quantum"
+            )
+
+    def test_attacker_adds_extra_node(self):
+        spec = ScenarioSpec(
+            n=5, duration_s=1.0, attacker=AttackerSpec(start_s=0.2, end_s=0.5)
+        )
+        runner = build_network("sstsp", spec)
+        assert len(runner.nodes) == 6
+
+    def test_all_baseline_protocols_run(self):
+        for name in ("tsf", "atsp", "tatsp", "satsf", "rentel"):
+            spec = ScenarioSpec(n=6, seed=4, duration_s=2.0)
+            result = build_network(name, spec).run()
+            assert len(result.trace) == spec.periods
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(n=1)
+        with pytest.raises(ValueError):
+            ScenarioSpec(duration_s=0)

@@ -1,0 +1,111 @@
+"""Unit tests for PHY parameters and the broadcast channel."""
+
+import numpy as np
+import pytest
+
+from repro.phy.channel import BroadcastChannel, ChannelStats, merge_stats
+from repro.phy.params import (
+    OFDM_54MBPS,
+    PhyParams,
+    SSTSP_BEACON_AIRTIME_SLOTS,
+    SSTSP_BEACON_BYTES,
+    TSF_BEACON_AIRTIME_SLOTS,
+    TSF_BEACON_BYTES,
+)
+
+
+class TestPhyParams:
+    def test_paper_beacon_sizes(self):
+        assert TSF_BEACON_BYTES == 56
+        assert SSTSP_BEACON_BYTES == 92
+
+    def test_paper_airtimes(self):
+        assert TSF_BEACON_AIRTIME_SLOTS == 4
+        assert SSTSP_BEACON_AIRTIME_SLOTS == 7
+        assert OFDM_54MBPS.beacon_airtime_us == pytest.approx(36.0)
+        assert OFDM_54MBPS.with_beacon_airtime(7).beacon_airtime_us == pytest.approx(63.0)
+
+    def test_ofdm_slot_time(self):
+        assert OFDM_54MBPS.slot_time_us == 9.0
+
+    def test_airtime_for_bytes(self):
+        # 56 bytes at 54 Mbps = 448 bits / 54 bit/us
+        assert OFDM_54MBPS.airtime_us_for_bytes(56) == pytest.approx(448 / 54)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PhyParams(slot_time_us=0)
+        with pytest.raises(ValueError):
+            PhyParams(packet_error_rate=1.5)
+        with pytest.raises(ValueError):
+            PhyParams(beacon_airtime_slots=0)
+        with pytest.raises(ValueError):
+            PhyParams(propagation_delay_us=-1)
+        with pytest.raises(ValueError):
+            PhyParams(cca_us=0)
+
+
+class TestBroadcastChannel:
+    def test_lossless_delivery(self, rng):
+        channel = BroadcastChannel(PhyParams(packet_error_rate=0.0), rng)
+        got = channel.broadcast(0, [0, 1, 2, 3], true_time=0.0, size_bytes=56)
+        assert got == [1, 2, 3]  # sender excluded
+        assert channel.stats.deliveries == 3
+        assert channel.stats.bytes_on_air == 56
+
+    def test_per_drops_expected_fraction(self, rng):
+        channel = BroadcastChannel(PhyParams(packet_error_rate=0.2), rng)
+        receivers = list(range(1, 2001))
+        got = channel.broadcast(0, receivers, 0.0, 56)
+        ratio = len(got) / len(receivers)
+        assert 0.75 < ratio < 0.85
+        assert channel.stats.per_drops == len(receivers) - len(got)
+
+    def test_jam_window_blocks_everything(self, rng):
+        channel = BroadcastChannel(PhyParams(packet_error_rate=0.0), rng)
+        channel.add_jam_window(100.0, 200.0)
+        assert channel.is_jammed(150.0)
+        assert not channel.is_jammed(200.0)  # half-open
+        got = channel.broadcast(0, [1, 2], true_time=150.0, size_bytes=56)
+        assert got == []
+        assert channel.stats.jammed_drops == 2
+
+    def test_jam_window_validation(self, rng):
+        channel = BroadcastChannel(PhyParams(), rng)
+        with pytest.raises(ValueError):
+            channel.add_jam_window(5.0, 5.0)
+
+    def test_timestamp_error_bounded(self, rng):
+        phy = PhyParams(timestamp_jitter_us=2.0)
+        channel = BroadcastChannel(phy, rng)
+        errors = channel.sample_timestamp_errors(10_000)
+        assert np.all(np.abs(errors) <= 2.0)
+        assert abs(errors.mean()) < 0.1
+        scalar = channel.sample_timestamp_error()
+        assert abs(scalar) <= 2.0
+
+    def test_zero_jitter(self, rng):
+        channel = BroadcastChannel(PhyParams(timestamp_jitter_us=0.0), rng)
+        assert channel.sample_timestamp_error() == 0.0
+        assert np.all(channel.sample_timestamp_errors(5) == 0.0)
+
+    def test_record_collision_counts_parties(self, rng):
+        channel = BroadcastChannel(PhyParams(), rng)
+        channel.record_collision(3)
+        assert channel.stats.collisions == 1
+        assert channel.stats.transmissions == 3
+
+    def test_delivery_ratio(self, rng):
+        stats = ChannelStats(deliveries=90, per_drops=10)
+        assert stats.delivery_ratio() == pytest.approx(0.9)
+        assert ChannelStats().delivery_ratio() == 1.0
+
+    def test_merge_stats(self):
+        a = ChannelStats(transmissions=1, deliveries=2, bytes_on_air=56)
+        b = ChannelStats(transmissions=3, collisions=1, per_drops=4)
+        total = merge_stats([a, b])
+        assert total.transmissions == 4
+        assert total.collisions == 1
+        assert total.deliveries == 2
+        assert total.per_drops == 4
+        assert total.bytes_on_air == 56

@@ -1,0 +1,141 @@
+"""Property-based tests of the SSTSP (k, b) solution (hypothesis)."""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.adjustment import (
+    AdjustmentSample,
+    DegenerateSamplesError,
+    paper_closed_form,
+    solve_adjustment,
+)
+
+BP = 100_000.0
+
+ref_rates = st.floats(min_value=0.9995, max_value=1.0005)
+offsets = st.floats(min_value=-500.0, max_value=500.0)
+prev_ks = st.floats(min_value=0.999, max_value=1.001)
+prev_bs = st.floats(min_value=-1_000.0, max_value=1_000.0)
+m_values = st.integers(min_value=1, max_value=8)
+jitters = st.floats(min_value=-5.0, max_value=5.0)
+
+
+def observation(rate, offset, ts):
+    """Hardware time at which the reference clock reads ``ts``."""
+    return rate * ts + offset
+
+
+@given(
+    rate=ref_rates,
+    offset=offsets,
+    prev_k=prev_ks,
+    prev_b=prev_bs,
+    m=m_values,
+    base=st.floats(min_value=1e5, max_value=1e8),
+)
+@settings(max_examples=200)
+def test_matches_paper_closed_form(rate, offset, prev_k, prev_b, m, base):
+    ts2, ts1 = base, base + BP
+    older = AdjustmentSample(1, observation(rate, offset, ts2), ts2)
+    newest = AdjustmentSample(2, observation(rate, offset, ts1), ts1)
+    t_now = observation(rate, offset, ts1 + BP)
+    target = ts1 + (m + 1) * BP
+    try:
+        k, b = solve_adjustment(prev_k, prev_b, t_now, newest, older, target)
+    except DegenerateSamplesError:
+        assume(False)
+    kp, bp_ = paper_closed_form(
+        prev_k, prev_b, t_now,
+        newest.local_hw_time, newest.ref_timestamp,
+        older.local_hw_time, older.ref_timestamp,
+        target,
+    )
+    assert math.isclose(k, kp, rel_tol=1e-9)
+    assert math.isclose(b, bp_, rel_tol=1e-6, abs_tol=1e-3)
+
+
+@given(
+    rate=ref_rates,
+    offset=offsets,
+    prev_k=prev_ks,
+    prev_b=prev_bs,
+    m=m_values,
+)
+@settings(max_examples=200)
+def test_continuity_and_target_hit(rate, offset, prev_k, prev_b, m):
+    ts2, ts1 = 1e6, 1e6 + BP
+    older = AdjustmentSample(1, observation(rate, offset, ts2), ts2)
+    newest = AdjustmentSample(2, observation(rate, offset, ts1), ts1)
+    t_now = observation(rate, offset, ts1 + BP)
+    target = ts1 + (m + 1) * BP
+    k, b = solve_adjustment(prev_k, prev_b, t_now, newest, older, target)
+    # equation (2): continuity at t_now
+    assert math.isclose(k * t_now + b, prev_k * t_now + prev_b, abs_tol=1e-3)
+    # equations (3)+(5): the new segment meets the reference at the target
+    t_target = observation(rate, offset, target)
+    assert math.isclose(k * t_target + b, target, abs_tol=1e-3)
+
+
+@given(
+    rate=ref_rates,
+    offset=offsets,
+    initial_error=st.floats(min_value=-200.0, max_value=200.0),
+    m=st.integers(min_value=2, max_value=5),
+)
+@settings(max_examples=100)
+def test_iterated_updates_contract_error(rate, offset, initial_error, m):
+    """Lemma 1 as a property: whatever the initial error (offset *and*
+    rate mismatch), iterating the update against a clean reference drives
+    the error below 0.5 us within 60 BPs - consistent with the lemma's
+    contraction ratio of (m-1)/m per BP."""
+    assume(abs(initial_error) > 0.5)
+    k, b = 1.0, initial_error  # offset error + implicit rate error (k=1)
+    samples = []
+    error = None
+    for j in range(1, 61):
+        ts = 1e6 + j * BP
+        hw = observation(rate, offset, ts)
+        samples.append(AdjustmentSample(j, hw, ts))
+        if len(samples) >= 3:
+            newest, older = samples[-2], samples[-3]
+            try:
+                k, b = solve_adjustment(
+                    k, b, hw, newest, older, ts + m * BP
+                )
+            except DegenerateSamplesError:
+                assume(False)
+        error = abs(k * hw + b - ts)
+    assert error is not None and error < 0.5
+
+
+@given(
+    rate=ref_rates,
+    offset=offsets,
+    jitter1=jitters,
+    jitter2=jitters,
+    m=st.integers(min_value=2, max_value=5),
+)
+@settings(max_examples=200)
+def test_slope_stays_hardware_plausible_under_jitter(
+    rate, offset, jitter1, jitter2, m
+):
+    """Starting from a *converged* clock, estimate noise within epsilon
+    perturbs the solved slope by at most a few eps/BP (the noise is
+    amplified by the gap-closing term, bounded by (m+2)/m here)."""
+    ts2, ts1 = 1e6, 1e6 + BP
+    older = AdjustmentSample(1, observation(rate, offset, ts2), ts2 + jitter2)
+    newest = AdjustmentSample(2, observation(rate, offset, ts1), ts1 + jitter1)
+    t_now = observation(rate, offset, ts1 + BP)
+    # converged previous segment: c(hw) == ts exactly
+    prev_k = 1.0 / rate
+    prev_b = -offset / rate
+    try:
+        k, _ = solve_adjustment(
+            prev_k, prev_b, t_now, newest, older, ts1 + (m + 1) * BP
+        )
+    except DegenerateSamplesError:
+        assume(False)
+    noise = abs(jitter1) + abs(jitter2)
+    assert abs(k - prev_k) <= 1e-9 + 6 * noise / BP

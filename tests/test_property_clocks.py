@@ -1,0 +1,102 @@
+"""Property-based tests on the clock substrate (hypothesis)."""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.clocks.adjusted import AdjustedClock, MonotonicityError
+from repro.clocks.oscillator import HardwareClock, TsfTimer
+
+rates = st.floats(min_value=0.999, max_value=1.001)
+offsets = st.floats(min_value=-1e6, max_value=1e6)
+times = st.floats(min_value=0.0, max_value=1e9)
+slopes = st.floats(min_value=0.995, max_value=1.005)
+
+
+class TestHardwareClockProperties:
+    @given(rate=rates, offset=offsets, t=times)
+    def test_read_inverts(self, rate, offset, t):
+        clock = HardwareClock(rate=rate, initial_offset=offset)
+        assert math.isclose(clock.true_time_at(clock.read(t)), t, abs_tol=1e-3)
+
+    @given(rate=rates, offset=offsets, t1=times, t2=times)
+    def test_strictly_increasing(self, rate, offset, t1, t2):
+        assume(t2 > t1 + 1e-3)  # below float resolution ties are expected
+        clock = HardwareClock(rate=rate, initial_offset=offset)
+        assert clock.read(t2) > clock.read(t1)
+
+    @given(rate=rates, offset=offsets, t1=times, t2=times)
+    def test_linearity(self, rate, offset, t1, t2):
+        clock = HardwareClock(rate=rate, initial_offset=offset)
+        midpoint = (t1 + t2) / 2
+        assert math.isclose(
+            clock.read(midpoint),
+            (clock.read(t1) + clock.read(t2)) / 2,
+            rel_tol=1e-12,
+            abs_tol=1e-6,
+        )
+
+
+class TestTsfTimerProperties:
+    @given(
+        rate=rates,
+        sets=st.lists(
+            st.tuples(times, st.floats(min_value=-1e4, max_value=1e4)),
+            min_size=1,
+            max_size=20,
+        ),
+    )
+    def test_timer_never_decreases_under_any_adoption_sequence(self, rate, sets):
+        timer = TsfTimer(HardwareClock(rate=rate))
+        previous_time = 0.0
+        previous_value = timer.raw(0.0)
+        for t, delta in sorted(sets):
+            timer.set_forward(timer.raw(t) + delta, t)
+            value = timer.raw(max(t, previous_time))
+            assert value >= previous_value - 1e-6
+            previous_time = max(t, previous_time)
+            previous_value = timer.raw(previous_time)
+
+
+class TestAdjustedClockProperties:
+    @given(
+        adjustments=st.lists(
+            st.tuples(
+                st.floats(min_value=1.0, max_value=1e7),  # time step
+                slopes,
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=50)
+    def test_continuous_slews_preserve_monotonicity(self, adjustments):
+        clock = AdjustedClock()
+        t = 0.0
+        for step, slope in adjustments:
+            t += step
+            clock.slew_to(0.0, slope, at_local_time=t)
+        assert clock.is_monotonic(0.0, t + 1e6, samples=128)
+
+    @given(
+        t_switch=st.floats(min_value=1.0, max_value=1e8),
+        slope=slopes,
+        probe=st.floats(min_value=0.0, max_value=1e-3),
+    )
+    def test_continuity_at_switch_point(self, t_switch, slope, probe):
+        clock = AdjustedClock()
+        clock.slew_to(0.0, slope, at_local_time=t_switch)
+        before = clock.read(t_switch - probe)
+        after = clock.read(t_switch + probe)
+        # values within 2 * probe * max_slope of each other
+        assert abs(after - before) <= 2 * probe * 1.01 + 1e-3
+
+    @given(jump=st.floats(min_value=0.01, max_value=1e6))
+    def test_discontinuity_always_rejected(self, jump):
+        clock = AdjustedClock()
+        try:
+            clock.adjust(1.0, jump, at_local_time=100.0)
+        except MonotonicityError:
+            return
+        raise AssertionError("discontinuous adjustment accepted")

@@ -1,0 +1,107 @@
+"""Property-based tests on hash chains, uTESLA and contention (hypothesis)."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.fractal import FractalTraversal
+from repro.crypto.hashchain import DenseHashChain, verify_element
+from repro.crypto.primitives import hash128, hash128_iter
+from repro.mac.contention import resolve_contention
+
+seeds = st.binary(min_size=1, max_size=32)
+lengths = st.integers(min_value=1, max_value=256)
+
+
+class TestChainProperties:
+    @given(seed=seeds, length=lengths)
+    @settings(max_examples=30)
+    def test_every_element_verifies_against_anchor(self, seed, length):
+        chain = DenseHashChain(seed, length)
+        for j in range(0, length + 1, max(1, length // 7)):
+            ok, _ = verify_element(chain.element(j), j, chain.anchor, length)
+            assert ok
+
+    @given(seed=seeds, length=lengths, data=st.data())
+    @settings(max_examples=30)
+    def test_shifted_claims_never_verify(self, seed, length, data):
+        assume(length >= 2)
+        chain = DenseHashChain(seed, length)
+        j = data.draw(st.integers(min_value=0, max_value=length - 1))
+        wrong = data.draw(
+            st.integers(min_value=0, max_value=length).filter(lambda x: x != j)
+        )
+        ok, _ = verify_element(chain.element(j), wrong, chain.anchor, length)
+        assert not ok
+
+    @given(seed=seeds, length=lengths)
+    @settings(max_examples=30)
+    def test_fractal_equals_dense(self, seed, length):
+        dense = DenseHashChain(seed, length)
+        traversal = FractalTraversal(seed, length)
+        assert traversal.anchor == dense.anchor
+        for expected in range(length - 1, -1, -1):
+            pos, value = traversal.next()
+            assert pos == expected
+            assert value == dense.element(pos)
+
+    @given(seed=seeds, a=st.integers(0, 64), b=st.integers(0, 64))
+    @settings(max_examples=50)
+    def test_iterated_hash_composes(self, seed, a, b):
+        assert hash128_iter(hash128_iter(seed, a), b) == hash128_iter(seed, a + b)
+
+
+class TestContentionProperties:
+    times = st.lists(
+        st.floats(min_value=0.0, max_value=500.0),
+        min_size=1,
+        max_size=25,
+        unique=True,
+    )
+
+    @given(times=times)
+    @settings(max_examples=100)
+    def test_at_most_one_success(self, times):
+        candidates = [(i, t) for i, t in enumerate(times)]
+        result = resolve_contention(candidates, airtime_us=36.0, cca_us=9.0)
+        successes = [tx for tx in result.transmissions if tx.success]
+        assert len(successes) <= 1
+
+    @given(times=times)
+    @settings(max_examples=100)
+    def test_every_candidate_accounted_once(self, times):
+        candidates = [(i, t) for i, t in enumerate(times)]
+        result = resolve_contention(candidates, airtime_us=36.0, cca_us=9.0)
+        transmitted = [m for tx in result.transmissions for m in tx.members]
+        accounted = sorted(transmitted + result.cancelled)
+        assert accounted == sorted(i for i, _ in candidates)
+
+    @given(times=times)
+    @settings(max_examples=100)
+    def test_nobody_cancelled_before_first_success(self, times):
+        candidates = [(i, t) for i, t in enumerate(times)]
+        result = resolve_contention(candidates, airtime_us=36.0, cca_us=9.0)
+        success = result.first_success
+        by_id = dict(candidates)
+        if success is None:
+            assert result.cancelled == []
+        else:
+            for station in result.cancelled:
+                assert by_id[station] >= success.start_us
+
+    @given(times=times, airtime=st.floats(min_value=1.0, max_value=100.0))
+    @settings(max_examples=100)
+    def test_transmissions_never_overlap(self, times, airtime):
+        candidates = [(i, t) for i, t in enumerate(times)]
+        result = resolve_contention(candidates, airtime_us=airtime, cca_us=9.0)
+        spans = sorted(
+            (tx.start_us, tx.end_us) for tx in result.transmissions
+        )
+        for (s1, e1), (s2, _) in zip(spans, spans[1:]):
+            assert s2 >= e1 - 1e-9
+
+    @given(
+        lone=st.floats(min_value=0.0, max_value=1000.0),
+    )
+    def test_single_candidate_always_wins(self, lone):
+        result = resolve_contention([(7, lone)], 36.0, 9.0)
+        assert result.winner == 7

@@ -1,0 +1,64 @@
+"""Property tests for the discrete-event kernel."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator
+
+
+@given(
+    times=st.lists(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=60,
+    )
+)
+@settings(max_examples=100)
+def test_events_fire_in_nondecreasing_time_order(times):
+    sim = Simulator()
+    fired = []
+    for t in times:
+        sim.schedule(t, lambda t=t: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(times)
+
+
+@given(
+    times=st.lists(
+        st.floats(min_value=0.0, max_value=1e6), min_size=2, max_size=40
+    ),
+    cancel_indices=st.sets(st.integers(0, 39), max_size=20),
+)
+@settings(max_examples=100)
+def test_cancellation_is_exact(times, cancel_indices):
+    sim = Simulator()
+    fired = []
+    handles = [
+        sim.schedule(t, fired.append, i) for i, t in enumerate(times)
+    ]
+    cancelled = {i for i in cancel_indices if i < len(handles)}
+    for i in cancelled:
+        handles[i].cancel()
+    sim.run()
+    assert set(fired) == set(range(len(times))) - cancelled
+
+
+@given(
+    chain_lengths=st.integers(min_value=1, max_value=200),
+    step=st.floats(min_value=0.001, max_value=1_000.0),
+)
+@settings(max_examples=50)
+def test_self_scheduling_chain_runs_to_completion(chain_lengths, step):
+    sim = Simulator()
+    count = [0]
+
+    def tick():
+        count[0] += 1
+        if count[0] < chain_lengths:
+            sim.schedule_in(step, tick)
+
+    sim.schedule(0.0, tick)
+    sim.run()
+    assert count[0] == chain_lengths
+    assert sim.now >= step * (chain_lengths - 1) * 0.999

@@ -1,0 +1,113 @@
+"""Stateful property test: uTESLA's security invariant.
+
+Whatever mix of honest deliveries, drops, replays, tamperings and
+forgeries a receiver sees, two invariants must hold:
+
+1. *Authenticity*: every payload the receiver releases as authenticated
+   was produced, unmodified, by the legitimate sender for that interval.
+2. *Freshness*: a packet is only ever accepted for buffering during its
+   own interval.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.hashchain import DenseHashChain
+from repro.crypto.mutesla import (
+    IntervalSchedule,
+    MuTeslaReceiver,
+    MuTeslaSender,
+    SecuredPacket,
+)
+
+BP = 100_000.0
+N = 64
+
+actions = st.lists(
+    st.sampled_from(["deliver", "drop", "replay", "tamper", "forge", "stale"]),
+    min_size=4,
+    max_size=40,
+)
+
+
+@given(actions=actions, seed=st.integers(0, 2**16))
+@settings(max_examples=60, deadline=None)
+def test_only_genuine_fresh_payloads_authenticate(actions, seed):
+    rng = np.random.default_rng(seed)
+    chain = DenseHashChain(seed.to_bytes(4, "big") + b"\x00" * 12, N)
+    schedule = IntervalSchedule(0.0, BP, N)
+    sender = MuTeslaSender(1, chain, schedule)
+    receiver = MuTeslaReceiver(schedule)
+    receiver.register_sender(1, chain.anchor, N)
+
+    genuine = {}  # interval -> payload bytes
+    history = []  # packets an attacker could have captured
+    released = []
+
+    for j, action in enumerate(actions, start=1):
+        if j > N:
+            break
+        local = j * BP + float(rng.uniform(-1_000, 1_000))
+        payload = b"m%d" % j
+        packet = sender.secure(payload, j)
+        genuine[j] = payload
+        history.append(packet)
+        if action == "deliver":
+            released += receiver.receive(1, packet, local)
+        elif action == "drop":
+            pass
+        elif action == "replay" and len(history) > 1:
+            old = history[int(rng.integers(0, len(history) - 1))]
+            released += receiver.receive(1, old, local)
+        elif action == "tamper":
+            evil = SecuredPacket(
+                b"EVIL" + payload, packet.interval, packet.mac_tag,
+                packet.disclosed_key,
+            )
+            released += receiver.receive(1, evil, local)
+        elif action == "forge":
+            evil = SecuredPacket(
+                payload, packet.interval,
+                bytes(rng.integers(0, 256, 16, dtype=np.uint8)),
+                bytes(rng.integers(0, 256, 16, dtype=np.uint8)),
+            )
+            released += receiver.receive(1, evil, local)
+        elif action == "stale":
+            # honest packet delivered two intervals late
+            released += receiver.receive(1, packet, local + 2 * BP)
+
+    for message in released:
+        assert message.sender == 1
+        # authenticity: the released payload is exactly what the honest
+        # sender produced for that interval
+        assert genuine.get(message.interval) == message.payload
+
+
+@given(
+    drops=st.sets(st.integers(2, 30), max_size=15),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=40, deadline=None)
+def test_all_delivered_intervals_eventually_authenticate(drops, seed):
+    """Liveness: with only losses (no attacks), every delivered interval
+    whose successor window sees another delivery is eventually released."""
+    chain = DenseHashChain(seed.to_bytes(4, "big") + b"\x01" * 12, N)
+    schedule = IntervalSchedule(0.0, BP, N)
+    sender = MuTeslaSender(1, chain, schedule)
+    receiver = MuTeslaReceiver(schedule)
+    receiver.register_sender(1, chain.anchor, N)
+
+    delivered = []
+    released = []
+    for j in range(1, 32):
+        packet = sender.secure(b"p%d" % j, j)
+        if j in drops:
+            continue
+        released += receiver.receive(1, packet, j * BP)
+        delivered.append(j)
+    # every delivered interval except possibly the most recent buffered
+    # ones (MAX_PENDING) must have been released
+    released_intervals = {m.interval for m in released}
+    for j in delivered[: -receiver.MAX_PENDING]:
+        assert j in released_intervals

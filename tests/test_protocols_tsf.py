@@ -1,0 +1,92 @@
+"""Unit tests for the TSF protocol driver."""
+
+import numpy as np
+import pytest
+
+from repro.clocks.oscillator import HardwareClock, TsfTimer
+from repro.protocols.base import ClockKind, RxContext
+from repro.protocols.tsf import TsfConfig, TsfProtocol
+from repro.sim.units import S
+
+
+def make_protocol(seed=0, **config_kw):
+    config = TsfConfig(**config_kw)
+    timer = TsfTimer(HardwareClock())
+    proto = TsfProtocol(1, timer, config, np.random.default_rng(seed))
+    return proto, timer, config
+
+
+class TestTsfConfig:
+    def test_defaults_match_paper(self):
+        config = TsfConfig()
+        assert config.beacon_period_us == 0.1 * S
+        assert config.w == 30
+        assert config.slot_time_us == 9.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TsfConfig(beacon_period_us=0)
+        with pytest.raises(ValueError):
+            TsfConfig(w=-1)
+        with pytest.raises(ValueError):
+            TsfConfig(slot_time_us=0)
+
+
+class TestTsfProtocol:
+    def test_always_contends_with_slot_delay(self):
+        proto, _, config = make_protocol()
+        intents = [proto.begin_period(m) for m in range(1, 200)]
+        assert all(i is not None for i in intents)
+        for m, intent in enumerate(intents, start=1):
+            assert intent.clock is ClockKind.TSF
+            delay = intent.local_time - m * config.beacon_period_us
+            assert 0 <= delay <= config.w * config.slot_time_us
+            assert delay % config.slot_time_us == pytest.approx(0.0)
+
+    def test_slot_draws_cover_window(self):
+        proto, _, config = make_protocol()
+        delays = {
+            proto.begin_period(m).local_time - m * config.beacon_period_us
+            for m in range(1, 2000)
+        }
+        assert len(delays) == config.w + 1
+
+    def test_frame_timestamp_is_floor_of_timer(self):
+        proto, timer, _ = make_protocol()
+        timer.set_forward_from_hw(1_000.7, hw_time=500.0)
+        frame = proto.make_frame(hw_time=500.0, period=1)
+        assert frame.timestamp_us == 1_000.0
+        assert frame.sender == 1
+        assert frame.size_bytes == 56
+        assert proto.beacons_sent == 1
+
+    def test_adopts_later_timestamp(self):
+        proto, timer, _ = make_protocol()
+        rx = RxContext(true_time=100.0, hw_time=100.0, est_timestamp=500.0, period=1)
+        proto.on_beacon(None, rx)
+        assert proto.adoptions == 1
+        assert timer.raw_from_hw(100.0) == pytest.approx(500.0)
+
+    def test_ignores_earlier_timestamp(self):
+        proto, timer, _ = make_protocol()
+        rx = RxContext(true_time=100.0, hw_time=100.0, est_timestamp=50.0, period=1)
+        proto.on_beacon(None, rx)
+        assert proto.adoptions == 0
+        assert timer.raw_from_hw(100.0) == pytest.approx(100.0)
+
+    def test_synchronized_time_is_timer(self):
+        proto, timer, _ = make_protocol()
+        timer.set_forward_from_hw(700.0, hw_time=300.0)
+        assert proto.synchronized_time(300.0) == pytest.approx(700.0)
+
+    def test_never_steps_backward(self):
+        # the TSF guarantee: whatever beacons arrive, time never decreases
+        proto, timer, _ = make_protocol()
+        rng = np.random.default_rng(5)
+        previous = -1.0
+        for hw in np.arange(0.0, 10_000.0, 100.0):
+            est = float(rng.uniform(-5_000, 5_000)) + hw
+            proto.on_beacon(None, RxContext(hw, hw, est, 1))
+            now = proto.synchronized_time(hw)
+            assert now >= previous
+            previous = now

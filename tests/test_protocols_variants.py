@@ -1,0 +1,206 @@
+"""Unit tests for the related-work baselines: ATSP, TATSP, SATSF, Rentel."""
+
+import numpy as np
+import pytest
+
+from repro.clocks.oscillator import HardwareClock, TsfTimer
+from repro.protocols.atsp import AtspConfig, AtspProtocol
+from repro.protocols.base import ClockKind, RxContext
+from repro.protocols.rentel import RentelConfig, RentelProtocol
+from repro.protocols.satsf import SatsfConfig, SatsfProtocol
+from repro.protocols.tatsp import TatspConfig, TatspProtocol
+
+
+def beaten_rx(proto, hw=1_000.0, ahead=500.0):
+    """An RxContext carrying a timestamp ahead of the node's clock."""
+    est = proto.synchronized_time(hw) + ahead
+    return RxContext(true_time=hw, hw_time=hw, est_timestamp=est, period=1)
+
+
+def make(cls, config, seed=0):
+    timer = TsfTimer(HardwareClock())
+    return cls(1, timer, config, np.random.default_rng(seed))
+
+
+class TestAtsp:
+    def test_starts_eager(self):
+        proto = make(AtspProtocol, AtspConfig())
+        assert proto.interval == 1
+
+    def test_beaten_node_backs_off(self):
+        config = AtspConfig(i_max=30)
+        proto = make(AtspProtocol, config)
+        proto.on_beacon(None, beaten_rx(proto))
+        proto.end_period(1, True, False, False)
+        assert proto.interval == 30
+
+    def test_unbeaten_node_promotes(self):
+        config = AtspConfig(i_max=10, promote_after=5)
+        proto = make(AtspProtocol, config)
+        proto.on_beacon(None, beaten_rx(proto))
+        proto.end_period(1, True, False, False)
+        assert proto.interval == 10
+        for m in range(2, 8):
+            proto.end_period(m, False, False, False)
+        assert proto.interval == 1
+
+    def test_contention_frequency_matches_interval(self):
+        config = AtspConfig(i_max=10, promote_after=1_000)
+        proto = make(AtspProtocol, config)
+        proto.on_beacon(None, beaten_rx(proto))
+        proto.end_period(1, True, False, False)
+        attempts = sum(
+            proto.begin_period(m) is not None for m in range(2, 102)
+        )
+        assert attempts <= 12  # ~1 in 10 periods
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AtspConfig(i_max=0)
+        with pytest.raises(ValueError):
+            AtspConfig(promote_after=0)
+
+
+class TestTatsp:
+    def test_starts_tier1(self):
+        proto = make(TatspProtocol, TatspConfig())
+        assert proto.tier == 1
+        assert proto.current_interval() == 1
+
+    def test_occasionally_beaten_moves_to_tier2(self):
+        config = TatspConfig(window=10, tier3_beats=5)
+        proto = make(TatspProtocol, config)
+        proto.on_beacon(None, beaten_rx(proto))
+        proto.end_period(1, True, False, False)
+        assert proto.tier == 2
+        assert proto.current_interval() == config.tier2_interval
+
+    def test_frequently_beaten_moves_to_tier3(self):
+        config = TatspConfig(window=10, tier3_beats=3)
+        proto = make(TatspProtocol, config)
+        for m in range(1, 7):
+            proto.on_beacon(None, beaten_rx(proto))
+            proto.end_period(m, True, False, False)
+        assert proto.tier == 3
+        assert proto.current_interval() == config.tier3_interval
+
+    def test_unbeaten_full_window_returns_to_tier1(self):
+        config = TatspConfig(window=5, tier3_beats=2)
+        proto = make(TatspProtocol, config)
+        proto.on_beacon(None, beaten_rx(proto))
+        proto.end_period(1, True, False, False)
+        assert proto.tier == 2
+        for m in range(2, 8):
+            proto.end_period(m, False, False, False)
+        assert proto.tier == 1
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TatspConfig(tier2_interval=20, tier3_interval=10)
+        with pytest.raises(ValueError):
+            TatspConfig(window=0)
+
+
+class TestSatsf:
+    def test_beaten_doubles_fft(self):
+        proto = make(SatsfProtocol, SatsfConfig(fft_max=64))
+        assert proto.fft == 1
+        proto.on_beacon(None, beaten_rx(proto))
+        proto.end_period(1, True, False, False)
+        assert proto.fft == 2
+        proto.on_beacon(None, beaten_rx(proto))
+        proto.end_period(2, True, False, False)
+        assert proto.fft == 4
+
+    def test_fft_capped(self):
+        proto = make(SatsfProtocol, SatsfConfig(fft_max=8))
+        for m in range(1, 12):
+            proto.on_beacon(None, beaten_rx(proto))
+            proto.end_period(m, True, False, False)
+        assert proto.fft == 8
+
+    def test_unbeaten_halves_fft(self):
+        proto = make(SatsfProtocol, SatsfConfig(fft_max=64))
+        for m in range(1, 4):
+            proto.on_beacon(None, beaten_rx(proto))
+            proto.end_period(m, True, False, False)
+        fft_before = proto.fft
+        for m in range(4, 4 + fft_before):
+            proto.end_period(m, False, False, False)
+        assert proto.fft == fft_before // 2
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SatsfConfig(fft_max=0)
+
+
+class TestRentel:
+    def test_controlled_clock_slews_not_steps(self):
+        proto = make(RentelProtocol, RentelConfig())
+        hw = 1_000_000.0
+        before = proto.controlled_clock(hw)
+        proto.on_beacon(None, RxContext(hw, hw, before + 200.0, 1))
+        # immediately after the beacon the clock has NOT jumped
+        just_after = proto.controlled_clock(hw + 1.0)
+        assert abs(just_after - (before + 1.0)) < 1.0
+        # ...but one BP later the offset has been absorbed
+        later = proto.controlled_clock(hw + proto.config.beacon_period_us)
+        expected = before + proto.config.beacon_period_us + 200.0
+        assert later == pytest.approx(expected, abs=25.0)
+
+    def test_controlled_clock_monotone(self):
+        proto = make(RentelProtocol, RentelConfig())
+        rng = np.random.default_rng(2)
+        previous = -np.inf
+        hw = 0.0
+        for _ in range(50):
+            hw += 10_000.0
+            if rng.random() < 0.3:
+                est = proto.controlled_clock(hw) + rng.uniform(-300, 300)
+                proto.on_beacon(None, RxContext(hw, hw, est, 1))
+            value = proto.controlled_clock(hw)
+            assert value >= previous
+            previous = value
+
+    def test_contends_only_after_silence(self):
+        proto = make(RentelProtocol, RentelConfig(t_delay=3, p_initial=1.0))
+        assert proto.begin_period(1) is None
+        for m in range(1, 4):
+            proto.end_period(m, False, False, False)
+        intent = proto.begin_period(4)
+        assert intent is not None
+        assert intent.clock is ClockKind.ADJUSTED
+
+    def test_hearing_beacons_suppresses_contention(self):
+        proto = make(RentelProtocol, RentelConfig(t_delay=2, p_initial=1.0))
+        for m in range(1, 10):
+            hw = m * 100_000.0
+            proto.on_beacon(None, RxContext(hw, hw, proto.controlled_clock(hw), m))
+            proto.end_period(m, True, False, False)
+            assert proto.begin_period(m + 1) is None
+
+    def test_p_decays_on_beacons_and_recovers_in_silence(self):
+        proto = make(RentelProtocol, RentelConfig(p_initial=0.8, p_min=0.1))
+        hw = 100_000.0
+        proto.on_beacon(None, RxContext(hw, hw, proto.controlled_clock(hw), 1))
+        assert proto.p == pytest.approx(0.4)
+        for m in range(2, 12):
+            proto.end_period(m, False, False, False)
+        assert proto.p == pytest.approx(0.8)
+
+    def test_rate_learning_from_pairs(self):
+        proto = make(RentelProtocol, RentelConfig())
+        # reference runs 100 ppm fast relative to this node's hardware clock
+        for m in range(1, 8):
+            hw = m * 100_000.0
+            est = m * 100_000.0 * 1.0001
+            proto.on_beacon(None, RxContext(hw, hw, est, m))
+        assert proto.s == pytest.approx(1.0001, abs=2e-5)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            RentelConfig(t_delay=0)
+        with pytest.raises(ValueError):
+            RentelConfig(p_initial=0.0)
+        with pytest.raises(ValueError):
+            RentelConfig(offset_gain=0.0)

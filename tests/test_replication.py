@@ -1,0 +1,129 @@
+"""Tests for the replication statistics and trace serialization."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import TraceRecorder, SyncTrace
+from repro.analysis.replication import (
+    PairedComparison,
+    compare,
+    replicate,
+    summarize,
+    t975,
+)
+
+
+class TestSummarize:
+    def test_basic(self):
+        summary = summarize([10.0, 12.0, 8.0, 11.0, 9.0])
+        assert summary.mean == pytest.approx(10.0)
+        assert summary.n == 5
+        low, high = summary.ci95
+        assert low < 10.0 < high
+
+    def test_single_value_infinite_ci(self):
+        summary = summarize([5.0])
+        assert summary.mean == 5.0
+        assert math.isinf(summary.ci95_half_width)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_t_quantiles(self):
+        assert t975(1) == pytest.approx(12.706)
+        assert t975(10) == pytest.approx(2.228)
+        assert t975(1000) == pytest.approx(1.96)
+        with pytest.raises(ValueError):
+            t975(0)
+
+    def test_ci_shrinks_with_replicas(self):
+        rng = np.random.default_rng(0)
+        small = summarize(rng.normal(0, 1, 5))
+        large = summarize(rng.normal(0, 1, 30))
+        assert large.ci95_half_width < small.ci95_half_width
+
+    def test_str(self):
+        assert "n=3" in str(summarize([1.0, 2.0, 3.0]))
+
+
+class TestReplicate:
+    def test_seeds_are_derived(self):
+        seen = []
+        replicate(lambda seed: seen.append(seed) or 0.0, replicas=3, base_seed=7)
+        assert seen == [7, 1007, 2007]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            replicate(lambda s: 0.0, replicas=0)
+
+    def test_end_to_end_sync_metric(self):
+        from repro.experiments.scenarios import quick_spec
+        from repro.fastlane import run_sstsp_vectorized
+
+        def metric(seed):
+            spec = quick_spec(15, seed=seed, duration_s=8.0)
+            return run_sstsp_vectorized(spec).trace.steady_state_error_us()
+
+        summary = replicate(metric, replicas=3)
+        assert 3.0 < summary.mean < 15.0
+        assert summary.ci95_half_width < summary.mean
+
+
+class TestCompare:
+    def test_paired_and_significant(self):
+        comparison = compare(
+            lambda seed: 1.0 + 0.01 * seed % 1,
+            lambda seed: 5.0 + 0.01 * seed % 1,
+            replicas=5,
+        )
+        assert comparison.a_smaller_significant
+        assert comparison.ratio == pytest.approx(5.0, rel=0.1)
+
+    def test_sstsp_beats_tsf_significantly(self):
+        from repro.experiments.scenarios import quick_spec
+        from repro.fastlane import run_sstsp_vectorized, run_tsf_vectorized
+
+        def sstsp(seed):
+            return run_sstsp_vectorized(
+                quick_spec(20, seed=seed, duration_s=8.0)
+            ).trace.steady_state_error_us()
+
+        def tsf(seed):
+            return run_tsf_vectorized(
+                quick_spec(20, seed=seed, duration_s=8.0)
+            ).trace.steady_state_error_us()
+
+        comparison = compare(sstsp, tsf, replicas=4)
+        assert comparison.a_smaller_significant
+        assert comparison.ratio > 2.0
+
+
+class TestTraceSerialization:
+    def make_trace(self, keep_values):
+        recorder = TraceRecorder(keep_values=keep_values)
+        for i in range(5):
+            values = np.array([float(i), i + 2.0])
+            recorder.record(
+                (i + 1) * 100.0, values, 1,
+                full_values=values if keep_values else None,
+            )
+        return recorder.finalize()
+
+    def test_npz_round_trip(self, tmp_path):
+        trace = self.make_trace(keep_values=False)
+        path = str(tmp_path / "trace.npz")
+        trace.save_npz(path)
+        loaded = SyncTrace.load_npz(path)
+        assert np.array_equal(loaded.times_us, trace.times_us)
+        assert np.array_equal(loaded.max_diff_us, trace.max_diff_us)
+        assert loaded.values_us is None
+
+    def test_npz_round_trip_with_values(self, tmp_path):
+        trace = self.make_trace(keep_values=True)
+        path = str(tmp_path / "trace.npz")
+        trace.save_npz(path)
+        loaded = SyncTrace.load_npz(path)
+        assert np.array_equal(loaded.values_us, trace.values_us)

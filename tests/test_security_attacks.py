@@ -1,0 +1,216 @@
+"""Unit and integration tests for the attacker models."""
+
+import numpy as np
+import pytest
+
+from repro.clocks.oscillator import HardwareClock, TsfTimer
+from repro.core.backend import ModeledCryptoBackend
+from repro.core.config import SstspConfig
+from repro.core.sstsp import SstspProtocol, SstspState
+from repro.crypto.mutesla import IntervalSchedule
+from repro.network.ibss import ScenarioSpec, build_network
+from repro.network.node import Node
+from repro.protocols.base import ClockKind, RxContext
+from repro.protocols.tsf import TsfConfig
+from repro.security.attacks import (
+    AttackWindow,
+    ExternalForger,
+    ReplayAttacker,
+    SstspInsiderAttacker,
+    TsfChannelAttacker,
+    schedule_pulse_delay_jam,
+)
+from repro.sim.units import S
+
+BP = 100_000.0
+
+
+class TestAttackWindow:
+    def test_half_open(self):
+        window = AttackWindow(10, 20)
+        assert window.active(10) and window.active(19)
+        assert not window.active(9) and not window.active(20)
+
+    def test_from_seconds(self):
+        window = AttackWindow.from_seconds(400.0, 600.0)
+        assert window.start_period == 4000
+        assert window.end_period == 6000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AttackWindow(5, 5)
+
+
+class TestTsfChannelAttacker:
+    def make(self, window=AttackWindow(10, 20), **kw):
+        timer = TsfTimer(HardwareClock())
+        return TsfChannelAttacker(
+            9, timer, TsfConfig(), np.random.default_rng(0), window=window, **kw
+        )
+
+    def test_honest_outside_window(self):
+        attacker = self.make()
+        intent = attacker.begin_period(5)
+        assert intent.local_time >= 5 * BP  # backoff applied
+
+    def test_leads_inside_window(self):
+        attacker = self.make(lead_slots=2.0)
+        intent = attacker.begin_period(10)
+        assert intent.local_time == pytest.approx(10 * BP - 18.0)
+        assert intent.clock is ClockKind.TSF
+
+    def test_pace_boost_accumulates(self):
+        attacker = self.make(pace_boost_us_per_period=30.0)
+        t10 = attacker.begin_period(10).local_time
+        t15 = attacker.begin_period(15).local_time
+        assert (t15 - t10) == pytest.approx(5 * BP - 150.0)
+
+    def test_erroneous_timestamp_is_slower(self):
+        attacker = self.make(error_offset_us=2_000.0)
+        frame = attacker.make_frame(hw_time=10 * BP, period=10)
+        assert frame.timestamp_us == pytest.approx(10 * BP - 2_000.0)
+        assert attacker.attack_beacons == 1
+
+    def test_ignores_beacons_while_attacking(self):
+        attacker = self.make()
+        rx = RxContext(10 * BP, 10 * BP, 10 * BP + 5_000.0, period=10)
+        attacker.on_beacon(None, rx)
+        assert attacker.adoptions == 0
+        rx = RxContext(5 * BP, 5 * BP, 5 * BP + 5_000.0, period=5)
+        attacker.on_beacon(None, rx)
+        assert attacker.adoptions == 1
+
+
+@pytest.fixture
+def backend():
+    schedule = IntervalSchedule(0.0, BP, 512)
+    backend = ModeledCryptoBackend(schedule)
+    for node in range(10):
+        backend.register_node(node)
+    return backend
+
+
+class TestSstspInsiderAttacker:
+    def make(self, backend, window=AttackWindow(10, 20), **kw):
+        return SstspInsiderAttacker(
+            9, SstspConfig(), backend, np.random.default_rng(0), window=window, **kw
+        )
+
+    def test_shave_starts_at_zero(self, backend):
+        attacker = self.make(backend, shave_per_period_us=40.0)
+        assert attacker._shave_total(10) == 0.0
+        assert attacker._shave_total(12) == 80.0
+        assert attacker._shave_total(9) == 0.0
+
+    def test_claims_reference_role(self, backend):
+        attacker = self.make(backend, lead_slots=2.0)
+        intent = attacker.begin_period(10)
+        assert attacker.state is SstspState.REFERENCE
+        assert intent.local_time == pytest.approx(10 * BP - 18.0)
+
+    def test_frames_carry_shaved_claimed_clock(self, backend):
+        attacker = self.make(backend, shave_per_period_us=40.0)
+        attacker.begin_period(12)
+        frame = attacker.make_frame(hw_time=12 * BP, period=12)
+        assert frame.timestamp_us == pytest.approx(12 * BP - 80.0)
+        # and the frame passes the real pipeline (valid chain material)
+        verdict = backend.process(1, frame, local_time_us=12 * BP)
+        assert verdict.accepted
+
+    def test_rejoins_after_window(self, backend):
+        attacker = self.make(backend, shave_per_period_us=40.0)
+        for period in range(10, 20):
+            attacker.begin_period(period)
+        assert attacker.state is SstspState.REFERENCE
+        attacker.begin_period(20)  # first post-window call rejoins
+        assert attacker._rejoined
+        # re-acquires network time like a returning node: coarse phase
+        assert attacker.state is SstspState.COARSE
+
+    def test_public_clock_is_claimed_clock(self, backend):
+        attacker = self.make(backend, shave_per_period_us=40.0)
+        attacker.begin_period(15)
+        public = attacker.synchronized_time(15 * BP)
+        assert public == pytest.approx(15 * BP - 5 * 40.0)
+
+
+class TestExternalForger:
+    def test_forged_frames_always_rejected(self, backend):
+        forger = ExternalForger(
+            99, SstspConfig(), backend, np.random.default_rng(0),
+            window=AttackWindow(5, 10),
+        )
+        frame = forger.make_frame(hw_time=5 * BP, period=5)
+        verdict = backend.process(1, frame, local_time_us=5 * BP)
+        assert not verdict.accepted
+        assert verdict.reason == "unknown_sender"
+
+    def test_impersonation_rejected_via_bad_key(self, backend):
+        forger = ExternalForger(
+            99, SstspConfig(), backend, np.random.default_rng(0),
+            window=AttackWindow(5, 10), impersonate=2,
+        )
+        frame = forger.make_frame(hw_time=5 * BP, period=5)
+        assert frame.sender == 2
+        verdict = backend.process(1, frame, local_time_us=5 * BP)
+        assert not verdict.accepted
+        assert verdict.reason == "bad_key"
+
+    def test_passive_time_tracking(self, backend):
+        forger = ExternalForger(
+            99, SstspConfig(), backend, np.random.default_rng(0),
+            window=AttackWindow(5, 10),
+        )
+        rx = RxContext(3 * BP, 3 * BP, 3 * BP + 500.0, period=3)
+        forger.on_beacon(None, rx)
+        assert forger.clock.read_current(3 * BP) == pytest.approx(3 * BP + 500.0)
+
+
+class TestReplayAttacker:
+    def test_replays_are_rejected_as_stale(self, backend):
+        config = SstspConfig()
+        replayer = ReplayAttacker(
+            5, config, backend, np.random.default_rng(0),
+            window=AttackWindow(8, 12), delay_periods=3,
+        )
+        victim = SstspProtocol(1, config, backend, np.random.default_rng(1))
+        # replayer captures the reference's beacon of interval 5
+        original = backend.make_frame(2, 5, 5 * BP)
+        rx = RxContext(5 * BP, 5 * BP, 5 * BP + 64.0, period=5)
+        replayer.on_beacon(original, rx)
+        assert replayer.begin_period(8) is not None
+        frame = replayer.make_frame(hw_time=8 * BP, period=8)
+        assert frame.interval == 5  # a genuine but stale frame
+        victim.on_beacon(frame, RxContext(8 * BP, 8 * BP, 8 * BP + 64.0, period=8))
+        assert victim.stats.rejections_by_reason == {"unsafe_interval": 1}
+        assert replayer.replayed_frames == 1
+
+
+class TestPulseDelayJam:
+    def test_jam_windows_cover_beacon_instants(self, rng):
+        from repro.phy.channel import BroadcastChannel
+        from repro.phy.params import PhyParams
+
+        channel = BroadcastChannel(PhyParams(), rng)
+        schedule_pulse_delay_jam(
+            channel, AttackWindow(10, 12), guard_band_us=1_000.0
+        )
+        assert channel.is_jammed(10 * BP)
+        assert channel.is_jammed(11 * BP - 500.0)
+        assert not channel.is_jammed(12 * BP + 2_000.0)
+
+    def test_pulse_delay_attack_is_contained(self):
+        """Victims miss the jammed genuine beacons and reject the delayed
+        replays: worst case is a brief outage, never a wrong clock."""
+        spec = ScenarioSpec(n=10, seed=3, duration_s=20.0)
+        runner = build_network("sstsp", spec)
+        # jam the genuine beacons for 1 s starting at 10 s
+        schedule_pulse_delay_jam(
+            runner.channel, AttackWindow(100, 110), guard_band_us=5_000.0
+        )
+        result = runner.run()
+        trace = result.trace
+        outage = float(trace.window(10 * S, 12 * S).max_diff_us.max())
+        recovered = float(trace.window(15 * S, 20 * S).max_diff_us.max())
+        assert outage < 150.0   # drift-bounded outage, no injected error
+        assert recovered < 15.0

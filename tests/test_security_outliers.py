@@ -1,0 +1,92 @@
+"""Unit tests for the outlier filters (threshold and GESD)."""
+
+import numpy as np
+import pytest
+
+from repro.security.outliers import gesd_outliers, robust_offset_average, threshold_filter
+
+
+class TestThresholdFilter:
+    def test_keeps_values_near_median(self):
+        mask = threshold_filter([1.0, 2.0, 3.0, 100.0], threshold=10.0)
+        assert mask.tolist() == [True, True, True, False]
+
+    def test_median_not_mean_resists_bias(self):
+        # one enormous outlier must not drag the reference point
+        offsets = [0.0, 1.0, -1.0, 2.0, 1e9]
+        mask = threshold_filter(offsets, threshold=5.0)
+        assert mask.tolist() == [True, True, True, True, False]
+
+    def test_empty(self):
+        assert threshold_filter([], 5.0).size == 0
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            threshold_filter([1.0], -1.0)
+
+    def test_zero_threshold_keeps_median_only(self):
+        mask = threshold_filter([1.0, 1.0, 5.0], threshold=0.0)
+        assert mask.tolist() == [True, True, False]
+
+
+class TestGesd:
+    def test_detects_planted_outliers(self, rng):
+        data = rng.normal(0.0, 1.0, 60).tolist()
+        data[5] = 40.0
+        data[20] = -35.0
+        outliers = gesd_outliers(data, max_outliers=8)
+        assert set(outliers) == {5, 20}
+
+    def test_clean_data_yields_none(self, rng):
+        data = rng.normal(0.0, 1.0, 60)
+        assert gesd_outliers(data, max_outliers=8) == []
+
+    def test_handles_small_samples(self):
+        assert gesd_outliers([1.0, 2.0], max_outliers=1) == []
+
+    def test_zero_variance(self):
+        assert gesd_outliers([5.0] * 10, max_outliers=3) == []
+
+    def test_max_outliers_zero(self):
+        assert gesd_outliers([1.0, 2.0, 50.0], max_outliers=0) == []
+
+    def test_negative_max_rejected(self):
+        with pytest.raises(ValueError):
+            gesd_outliers([1.0, 2.0, 3.0], max_outliers=-1)
+
+    def test_masking_resistant(self, rng):
+        # two nearby outliers mask each other for single-pass tests; GESD
+        # is designed to find both
+        data = rng.normal(0.0, 1.0, 50).tolist()
+        data[10] = 25.0
+        data[11] = 26.0
+        outliers = gesd_outliers(data, max_outliers=6)
+        assert {10, 11} <= set(outliers)
+
+
+class TestRobustAverage:
+    def test_malicious_offsets_excluded(self, rng):
+        honest = rng.normal(10.0, 1.0, 20)
+        offsets = honest.tolist() + [50_000.0, -90_000.0]
+        average, used = robust_offset_average(offsets, threshold=100.0)
+        assert used == 20
+        assert average == pytest.approx(honest.mean(), abs=1e-9)
+
+    def test_gesd_pass_tightens(self, rng):
+        honest = rng.normal(0.0, 1.0, 30)
+        offsets = honest.tolist() + [80.0]  # inside a loose threshold
+        avg_plain, used_plain = robust_offset_average(offsets, threshold=100.0)
+        avg_gesd, used_gesd = robust_offset_average(
+            offsets, threshold=100.0, use_gesd=True
+        )
+        assert used_gesd < used_plain
+        assert abs(avg_gesd) < abs(avg_plain)
+
+    def test_all_rejected_returns_zero_used(self):
+        average, used = robust_offset_average([1e9, -1e9], threshold=1.0)
+        # the median of two extreme values keeps at least one inlier by
+        # construction; verify behaviour is sane rather than crashing
+        assert used >= 0
+
+    def test_empty(self):
+        assert robust_offset_average([], threshold=10.0) == (0.0, 0)

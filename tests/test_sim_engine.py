@@ -1,0 +1,162 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(30.0, order.append, "c")
+    sim.schedule(10.0, order.append, "a")
+    sim.schedule(20.0, order.append, "b")
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_break_fifo():
+    sim = Simulator()
+    order = []
+    for tag in "abcd":
+        sim.schedule(5.0, order.append, tag)
+    sim.run()
+    assert order == list("abcd")
+
+
+def test_now_tracks_event_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(7.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [7.5]
+    assert sim.now == 7.5
+
+
+def test_schedule_in_is_relative():
+    sim = Simulator(start_time=100.0)
+    seen = []
+    sim.schedule_in(5.0, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [105.0]
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "x")
+    sim.schedule(0.5, handle.cancel)
+    sim.run()
+    assert fired == []
+
+
+def test_cancel_is_idempotent_and_safe_after_fire():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    sim.run()
+    handle.cancel()
+    handle.cancel()
+
+
+def test_events_can_schedule_events():
+    sim = Simulator()
+    order = []
+
+    def chain(depth):
+        order.append(depth)
+        if depth < 3:
+            sim.schedule_in(1.0, chain, depth + 1)
+
+    sim.schedule(0.0, chain, 0)
+    sim.run()
+    assert order == [0, 1, 2, 3]
+
+
+def test_run_until_stops_and_advances_clock():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(10.0, fired.append, "b")
+    sim.run(until=5.0)
+    assert fired == ["a"]
+    assert sim.now == 5.0
+    sim.run()
+    assert fired == ["a", "b"]
+
+
+def test_run_until_includes_boundary_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5.0, fired.append, "edge")
+    sim.run(until=5.0)
+    assert fired == ["edge"]
+
+
+def test_cannot_schedule_in_past():
+    sim = Simulator(start_time=10.0)
+    with pytest.raises(SimulationError):
+        sim.schedule(5.0, lambda: None)
+
+
+def test_cannot_schedule_nan():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(float("nan"), lambda: None)
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule_in(-1.0, lambda: None)
+
+
+def test_step_runs_single_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(2.0, fired.append, "b")
+    assert sim.step()
+    assert fired == ["a"]
+    assert sim.step()
+    assert not sim.step()
+    assert fired == ["a", "b"]
+
+
+def test_peek_skips_cancelled():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    handle.cancel()
+    assert sim.peek() == 2.0
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    cancelled = sim.schedule(1.0, lambda: None)
+    cancelled.cancel()
+    sim.schedule(2.0, lambda: None)
+    sim.run()
+    assert sim.events_processed == 1
+
+
+def test_not_reentrant():
+    sim = Simulator()
+
+    def reenter():
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    sim.schedule(1.0, reenter)
+    sim.run()
+
+
+def test_schedule_at_now_runs():
+    sim = Simulator()
+    fired = []
+
+    def at_now():
+        sim.schedule(sim.now, fired.append, "same-time")
+
+    sim.schedule(1.0, at_now)
+    sim.run()
+    assert fired == ["same-time"]

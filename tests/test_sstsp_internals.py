@@ -1,0 +1,139 @@
+"""Deeper unit tests of SSTSP internals: pace reset, pruning, recovery,
+logging, and the extension knobs."""
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.core.backend import ModeledCryptoBackend
+from repro.core.config import SstspConfig
+from repro.core.sstsp import SstspProtocol, SstspState
+from repro.crypto.mutesla import IntervalSchedule
+from repro.protocols.base import RxContext
+
+BP = 100_000.0
+
+
+def make_backend(config, nodes=8, length=512):
+    backend = ModeledCryptoBackend(
+        IntervalSchedule(config.t0_us, config.beacon_period_us, length)
+    )
+    for node in range(nodes):
+        backend.register_node(node)
+    return backend
+
+
+def make_node(node_id, config, backend, **kw):
+    return SstspProtocol(
+        node_id, config, backend, np.random.default_rng(node_id), **kw
+    )
+
+
+def rx_at(period, hw_offset=10.0, est=None):
+    hw = period * BP + hw_offset
+    return RxContext(hw, hw, period * BP + 64.0 if est is None else est, period)
+
+
+class TestPaceReset:
+    def test_transient_slope_clamped_on_first_reference_beacon(self):
+        config = SstspConfig(reference_pace_clamp=3e-4)
+        backend = make_backend(config)
+        proto = make_node(1, config, backend)
+        # simulate a hard mid-slew state: slope 2e-3 (legal transiently)
+        proto.clock.slew_to(0.0, 1.002, at_local_time=BP)
+        proto.begin_period(2)
+        proto.end_period(2, False, True, True)  # wins: becomes reference
+        assert proto.state is SstspState.REFERENCE
+        frame = proto.make_frame(hw_time=3 * BP, period=3)
+        assert abs(proto.clock.k - 1.0) <= 3e-4 + 1e-12
+        # continuity preserved at the clamp instant
+        assert proto.clock.is_monotonic(BP, 4 * BP)
+
+    def test_healthy_slope_untouched(self):
+        config = SstspConfig()
+        backend = make_backend(config)
+        proto = make_node(1, config, backend)
+        proto.clock.slew_to(0.0, 1.0001, at_local_time=BP)
+        proto.begin_period(2)
+        proto.end_period(2, False, True, True)
+        proto.make_frame(hw_time=3 * BP, period=3)
+        assert proto.clock.k == pytest.approx(1.0001)
+
+
+class TestPendingPrune:
+    def test_old_pending_records_dropped(self):
+        config = SstspConfig(max_sample_age_periods=2)
+        backend = make_backend(config)
+        proto = make_node(1, config, backend)
+        proto._pending_rx[(2, 1)] = (1.0, 1.0)
+        proto._pending_rx[(2, 99)] = (1.0, 1.0)
+        # horizon = current - max_sample_age - 2 = 96: older records drop
+        proto._prune_pending(current_interval=100)
+        assert (2, 1) not in proto._pending_rx
+        assert (2, 99) in proto._pending_rx
+
+
+class TestRecoveryExtension:
+    def test_disabled_by_default(self):
+        config = SstspConfig()
+        backend = make_backend(config)
+        proto = make_node(1, config, backend)
+        for period in range(1, 30):
+            bad = backend.make_frame(2, period, period * BP + 50_000.0)
+            proto.on_beacon(bad, rx_at(period, est=period * BP + 50_000.0))
+        assert proto.state is not SstspState.COARSE
+        assert proto.stats.recoveries == 0
+
+    def test_triggers_after_threshold(self, caplog):
+        config = SstspConfig(recovery_rejection_threshold=5)
+        backend = make_backend(config)
+        proto = make_node(1, config, backend)
+        with caplog.at_level(logging.WARNING, logger="repro.core.sstsp"):
+            for period in range(1, 8):
+                bad = backend.make_frame(2, period, period * BP + 50_000.0)
+                proto.on_beacon(bad, rx_at(period, est=period * BP + 50_000.0))
+        assert proto.stats.recoveries == 1
+        assert proto.state is SstspState.COARSE
+        assert any("restarting" in record.message for record in caplog.records)
+
+    def test_counter_resets_on_valid_beacon(self):
+        config = SstspConfig(recovery_rejection_threshold=5)
+        backend = make_backend(config)
+        proto = make_node(1, config, backend)
+        for period in range(1, 5):
+            bad = backend.make_frame(2, period, period * BP + 50_000.0)
+            proto.on_beacon(bad, rx_at(period, est=period * BP + 50_000.0))
+        good = backend.make_frame(2, 5, 5 * BP)
+        proto.on_beacon(good, rx_at(5))
+        assert proto._consecutive_guard_rejections == 0
+        assert proto.stats.recoveries == 0
+
+
+class TestElectionLogging:
+    def test_reference_promotion_logged(self, caplog):
+        config = SstspConfig()
+        backend = make_backend(config)
+        proto = make_node(3, config, backend)
+        with caplog.at_level(logging.INFO, logger="repro.core.sstsp"):
+            proto.begin_period(1)
+            proto.end_period(1, False, True, True)
+        assert any("became the reference" in r.message for r in caplog.records)
+
+
+class TestIsSynchronized:
+    def test_coarse_not_synchronized(self):
+        config = SstspConfig()
+        backend = make_backend(config)
+        joiner = make_node(1, config, backend, founding=False)
+        assert not joiner.is_synchronized()
+        founder = make_node(2, config, backend, founding=True)
+        assert founder.is_synchronized()
+
+
+class TestInitialOffset:
+    def test_initial_offset_applied(self):
+        config = SstspConfig()
+        backend = make_backend(config)
+        proto = make_node(1, config, backend, initial_offset_us=55.0)
+        assert proto.synchronized_time(100.0) == pytest.approx(155.0)
