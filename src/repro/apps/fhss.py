@@ -16,8 +16,6 @@ at random instants (what a sniffer would measure).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
-
 import numpy as np
 
 from repro.analysis.metrics import SyncTrace

@@ -19,8 +19,6 @@ hardware counter does. (A real 64-bit microsecond counter wraps after
 from __future__ import annotations
 
 import math
-from typing import Optional
-
 import numpy as np
 
 #: Oscillator tolerance used throughout the paper's evaluation: +-0.01%.

@@ -30,6 +30,7 @@ class CoarseSynchronizer:
         self._offsets: List[float] = []
         self._periods_scanned = 0
         self.samples_rejected = 0
+        self.batches_retried = 0
 
     @property
     def samples_collected(self) -> int:
@@ -54,8 +55,9 @@ class CoarseSynchronizer:
 
         Finishes when ``coarse_min_samples`` offsets were collected, or
         when ``coarse_max_periods`` BPs elapsed with at least one sample.
-        Returns None (keep scanning) if every collected offset was
-        filtered out as biased.
+        Returns None (keep scanning) if fewer than
+        ``coarse_min_survivors`` offsets survive the bias filter —
+        averaging a possibly-biased remnant is worse than another scan.
         """
         cfg = self._config
         enough = len(self._offsets) >= cfg.coarse_min_samples
@@ -67,9 +69,10 @@ class CoarseSynchronizer:
             threshold=cfg.guard_coarse_us,
             use_gesd=cfg.coarse_use_gesd,
         )
-        if used == 0:
-            # Everything looked biased: drop the batch and keep scanning.
+        if used < cfg.coarse_min_survivors:
+            # Too few trustworthy offsets: drop the batch and keep scanning.
             self.samples_rejected += len(self._offsets)
+            self.batches_retried += 1
             self._offsets.clear()
             self._periods_scanned = 0
             return None

@@ -92,6 +92,35 @@ class SstspConfig:
         jamming-grade channel-suppression attack) and re-enters the coarse
         phase. ``None`` (the default) reproduces the paper faithfully:
         erroneous beacons are simply discarded.
+    coarse_min_survivors:
+        Recovery hardening (opt-in): minimum offsets that must survive
+        the coarse phase's outlier filter for the batch to be usable;
+        fewer survivors drop the batch and re-scan instead of averaging a
+        possibly-biased remnant. The default 1 is the paper's behaviour
+        (any survivor is averaged).
+    coarse_silence_watchdog_periods:
+        Recovery hardening (opt-in): a coarse-phase node that has scanned
+        this many *consecutive* beacon-less periods concludes the network
+        is silent (every reference candidate crashed or is unreachable)
+        and enters the election instead of scanning forever. Without it a
+        network whose members are all in the coarse phase is deadlocked:
+        coarse nodes never transmit, so nobody ever hears anything.
+        ``None`` (the default) reproduces the paper, which never reaches
+        total silence.
+    free_run_clamp_after:
+        Recovery hardening (opt-in): after this many consecutive silent
+        periods a node clamps its adjusted-clock slope to a
+        hardware-plausible free-run pace (``1 +- reference_pace_clamp``,
+        continuously - no leap), so an interrupted mid-slew transient is
+        not extrapolated for the whole outage. ``None`` (default) keeps
+        the paper's behaviour: the last learned segment free-runs as-is.
+    election_backoff_cap:
+        Recovery hardening: on consecutive *failed* election rounds (the
+        node contended, nobody won, nothing was heard) the contention
+        window doubles up to ``w * election_backoff_cap`` slots, reducing
+        repeat-collision livelock when many stations contend after a mass
+        failure; the cap bounds the added election latency. The default 1
+        keeps the paper's fixed ``w``-slot window.
     """
 
     beacon_period_us: float = 0.1 * S
@@ -111,6 +140,10 @@ class SstspConfig:
     max_pair_gap_periods: int = 5
     reference_pace_clamp: float = 3e-4
     recovery_rejection_threshold: "int | None" = None
+    coarse_min_survivors: int = 1
+    coarse_silence_watchdog_periods: "int | None" = None
+    free_run_clamp_after: "int | None" = None
+    election_backoff_cap: int = 1
 
     def __post_init__(self) -> None:
         if self.beacon_period_us <= 0:
@@ -143,6 +176,41 @@ class SstspConfig:
             raise ValueError(
                 "reference_pace_clamp must be in (0, k_clamp]"
             )
+        if self.coarse_min_survivors < 1:
+            raise ValueError("coarse_min_survivors must be >= 1")
+        if (
+            self.coarse_silence_watchdog_periods is not None
+            and self.coarse_silence_watchdog_periods < 1
+        ):
+            raise ValueError(
+                "coarse_silence_watchdog_periods must be >= 1 or None"
+            )
+        if self.free_run_clamp_after is not None and self.free_run_clamp_after < 1:
+            raise ValueError("free_run_clamp_after must be >= 1 or None")
+        if self.election_backoff_cap < 1:
+            raise ValueError("election_backoff_cap must be >= 1")
+
+    @classmethod
+    def hardened(cls, **overrides) -> "SstspConfig":
+        """A configuration with every recovery-hardening knob enabled.
+
+        The paper-faithful defaults discard erroneous beacons and rely on
+        the operator to notice a wedged node; this profile turns on the
+        liveness watchdogs and bounded backoff the chaos soak harness
+        exercises: guard-rejection recovery, coarse-silence election,
+        free-run pace clamping, coarse-survivor retry and capped election
+        backoff. Keyword ``overrides`` replace any default or hardened
+        value.
+        """
+        values = dict(
+            recovery_rejection_threshold=8,
+            coarse_silence_watchdog_periods=25,
+            free_run_clamp_after=3,
+            coarse_min_survivors=2,
+            election_backoff_cap=4,
+        )
+        values.update(overrides)
+        return cls(**values)
 
     @property
     def optimal_m(self) -> int:

@@ -23,6 +23,16 @@ State machine
   key checks, guard-time check, and delayed MAC authentication; only
   *authenticated* observations ever become clock-adjustment samples, and
   only beacons that pass all checks count as "hearing the reference".
+
+Recovery hardening (all opt-in through :class:`SstspConfig`, see
+``SstspConfig.hardened``): persistent guard rejections restart
+synchronization from the coarse phase; a coarse-phase node facing a
+*silent* network gives up scanning and enters the election (otherwise an
+all-coarse network deadlocks — coarse nodes never transmit); consecutive
+failed election rounds widen the contention window with a bounded
+exponential backoff; and a node hearing nothing for a configured stretch
+clamps its adjusted clock to a free-run pace so mid-slew transients are
+not extrapolated across the outage.
 """
 
 from __future__ import annotations
@@ -73,6 +83,8 @@ class SstspStats:
     elections_entered: int = 0
     became_reference: int = 0
     recoveries: int = 0
+    coarse_watchdog_trips: int = 0
+    free_run_clamps: int = 0
     rejections_by_reason: Dict[str, int] = field(default_factory=dict)
 
 
@@ -124,6 +136,10 @@ class SstspProtocol(SyncProtocol):
         self._valid_beacon_this_period = False
         self._consecutive_guard_rejections = 0
         self._pace_reset_pending = False
+        self._last_hw_time: Optional[float] = None
+        self._heard_in_coarse = False
+        self._coarse_silent_periods = 0
+        self._election_rounds = 0
         self.current_ref: Optional[int] = None
         # sender -> authenticated samples, newest last (we keep two).
         self._samples: Dict[int, List[AdjustmentSample]] = defaultdict(list)
@@ -134,6 +150,9 @@ class SstspProtocol(SyncProtocol):
     # ------------------------------------------------------------------
     # SyncProtocol interface
     # ------------------------------------------------------------------
+
+    def on_period_time(self, period: int, hw_time: float) -> None:
+        self._last_hw_time = hw_time
 
     def begin_period(self, period: int) -> Optional[TxIntent]:
         if self.state is SstspState.COARSE:
@@ -146,12 +165,21 @@ class SstspProtocol(SyncProtocol):
             self.state = SstspState.CONTENDING
             self.stats.elections_entered += 1
         if self.state is SstspState.CONTENDING:
-            slot = int(self._rng.integers(0, self.config.w + 1))
+            slot = int(self._rng.integers(0, self._election_window() + 1))
             return TxIntent(
                 local_time=nominal + slot * self.config.slot_time_us,
                 clock=ClockKind.ADJUSTED,
             )
         return None
+
+    def _election_window(self) -> int:
+        """Contention window in slots: ``w``, doubled per consecutive
+        failed election round, capped at ``w * election_backoff_cap``."""
+        cfg = self.config
+        if cfg.election_backoff_cap <= 1 or self._election_rounds == 0:
+            return cfg.w
+        rounds = min(self._election_rounds, 16)  # avoid silly exponents
+        return min(cfg.w * (2 ** rounds), cfg.w * cfg.election_backoff_cap)
 
     def make_frame(self, hw_time: float, period: int) -> SecureBeaconFrame:
         if self._pace_reset_pending:
@@ -165,6 +193,7 @@ class SstspProtocol(SyncProtocol):
         if not isinstance(frame, SecureBeaconFrame):
             return  # a plain TSF beacon carries no authenticator: ignore
         if self.state is SstspState.COARSE:
+            self._heard_in_coarse = True
             offset = rx.est_timestamp - self.clock.read_current(rx.hw_time)
             self._coarse.add_sample(offset)
             return
@@ -205,6 +234,13 @@ class SstspProtocol(SyncProtocol):
     ) -> None:
         if self.state is SstspState.COARSE:
             self._coarse.tick_period()
+            if self._heard_in_coarse:
+                self._coarse_silent_periods = 0
+            else:
+                self._coarse_silent_periods += 1
+                if self._coarse_watchdog_trips(period):
+                    return
+            self._heard_in_coarse = False
             offset = self._coarse.try_finish()
             if offset is not None:
                 # One-time initialisation (documented in repro.core.coarse).
@@ -221,6 +257,7 @@ class SstspProtocol(SyncProtocol):
             self._silent_periods = 0
         else:
             self._silent_periods += 1
+            self._maybe_clamp_free_run()
         if self.state is SstspState.CONTENDING:
             if tx_success and not heard_valid:
                 self.state = SstspState.REFERENCE
@@ -231,12 +268,18 @@ class SstspProtocol(SyncProtocol):
                 self.stats.became_reference += 1
                 self.current_ref = self.node_id
                 self._silent_periods = 0
+                self._election_rounds = 0
                 # The reference is the timebase: a transient slewing slope
                 # must not be frozen in (applied on the next beacon, when a
                 # hardware timestamp is available).
                 self._pace_reset_pending = True
             elif heard_valid:
                 self.state = SstspState.SYNCED
+                self._election_rounds = 0
+            else:
+                # Contended, nobody won, nothing heard: a failed round -
+                # the next draw backs off (bounded) to break livelock.
+                self._election_rounds += 1
         elif self.state is SstspState.REFERENCE and heard_valid:
             # Another station's beacon passed all checks: it took over
             # (post-collision double win, or a lead-transmitting insider).
@@ -252,6 +295,7 @@ class SstspProtocol(SyncProtocol):
         if self.state is SstspState.REFERENCE or self.state is SstspState.CONTENDING:
             self.state = SstspState.SYNCED
         self._silent_periods = 0
+        self._election_rounds = 0
 
     def on_return(self, period: int) -> None:
         # A returning node is a re-joiner: while away its clock free-ran
@@ -262,6 +306,9 @@ class SstspProtocol(SyncProtocol):
         self._samples.clear()
         self._pending_rx.clear()
         self._silent_periods = 0
+        self._election_rounds = 0
+        self._coarse_silent_periods = 0
+        self._heard_in_coarse = False
         self.current_ref = None
         self.state = SstspState.COARSE
         self._coarse = CoarseSynchronizer(self.config)
@@ -283,11 +330,66 @@ class SstspProtocol(SyncProtocol):
         free-run pace (continuous at ``hw_time``); see
         ``SstspConfig.reference_pace_clamp``."""
         self._pace_reset_pending = False
+        self._clamp_pace(hw_time)
+
+    def _clamp_pace(self, hw_time: float) -> bool:
+        """Clamp the adjusted-clock slope to ``1 +- reference_pace_clamp``
+        continuously at ``hw_time``. Returns True when a new segment was
+        installed."""
         clamp = self.config.reference_pace_clamp
         k = self.clock.k
         clamped = min(max(k, 1.0 - clamp), 1.0 + clamp)
-        if clamped != k:
+        if clamped == k:
+            return False
+        try:
             self.clock.slew_to(0.0, clamped, at_local_time=hw_time)
+        except MonotonicityError:
+            # hw_time predates the latest segment (a beacon arrived later
+            # in the same period) - skip; the next period retries.
+            return False
+        return True
+
+    def _maybe_clamp_free_run(self) -> None:
+        """Graceful free-run: once silence exceeds the configured stretch,
+        stop extrapolating a transient slewing slope and fall back to a
+        hardware-plausible pace (continuous - no leap) until a reference
+        reappears."""
+        after = self.config.free_run_clamp_after
+        if (
+            after is None
+            or self._silent_periods != after
+            or self._last_hw_time is None
+        ):
+            return
+        if self._clamp_pace(self._last_hw_time):
+            self.stats.free_run_clamps += 1
+            logger.info(
+                "node %d: no reference for %d periods - clamped to free-run pace",
+                self.node_id, after,
+            )
+
+    def _coarse_watchdog_trips(self, period: int) -> bool:
+        """Coarse-silence watchdog: a scanning node that heard *nothing*
+        for the configured stretch stops waiting for a network that is
+        not transmitting and enters the election as a founder of last
+        resort (its clock is the best timeline it has). Returns True when
+        the watchdog fired and the state changed."""
+        watchdog = self.config.coarse_silence_watchdog_periods
+        if watchdog is None or self._coarse_silent_periods < watchdog:
+            return False
+        self.stats.coarse_watchdog_trips += 1
+        self.stats.elections_entered += 1
+        logger.warning(
+            "node %d: %d silent periods in the coarse phase - entering "
+            "the election at period %d",
+            self.node_id, self._coarse_silent_periods, period,
+        )
+        self._coarse_silent_periods = 0
+        self._coarse = CoarseSynchronizer(self.config)
+        self._silent_periods = self.config.l
+        self.current_ref = None
+        self.state = SstspState.CONTENDING
+        return True
 
     def _maybe_recover(self) -> None:
         """The paper's future-work recovery (opt-in, see SstspConfig):
@@ -308,6 +410,9 @@ class SstspProtocol(SyncProtocol):
         self._pending_rx.clear()
         self.current_ref = None
         self._silent_periods = 0
+        self._election_rounds = 0
+        self._coarse_silent_periods = 0
+        self._heard_in_coarse = False
         self.state = SstspState.COARSE
         self._coarse = CoarseSynchronizer(self.config)
 

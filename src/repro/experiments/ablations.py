@@ -17,7 +17,6 @@ from __future__ import annotations
 import argparse
 from typing import Dict, Sequence
 
-import numpy as np
 
 from repro.analysis.metrics import sync_latency_us
 from repro.core.adjustment import reference_change_ratio

@@ -17,6 +17,7 @@ from typing import Callable, Dict, List
 
 from repro.experiments import (
     ablations,
+    chaos,
     fig1,
     fig2,
     fig3,
@@ -37,6 +38,7 @@ EXPERIMENTS: Dict[str, Callable[[List[str]], None]] = {
     "lemmas": lemmas.main,
     "related": related.main,
     "ablations": ablations.main,
+    "chaos": chaos.main,
 }
 
 

@@ -22,7 +22,6 @@ from repro.experiments.report import (
 )
 from repro.experiments.scenarios import paper_spec, quick_spec
 from repro.fastlane import run_sstsp_vectorized
-from repro.sim.units import S
 
 
 @dataclass

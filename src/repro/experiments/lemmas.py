@@ -10,11 +10,10 @@ networks and prints them next to the formulas' values.
 from __future__ import annotations
 
 import argparse
-from typing import Dict, List
+from typing import Dict
 
 import numpy as np
 
-from repro.analysis.metrics import sync_latency_us
 from repro.core.adjustment import (
     optimal_m,
     predicted_error_ratio,
@@ -24,7 +23,7 @@ from repro.core.config import SstspConfig
 from repro.experiments.report import format_table
 from repro.experiments.scenarios import TABLE1_INITIAL_OFFSET_US, quick_spec
 from repro.fastlane import run_sstsp_vectorized
-from repro.network.churn import REFERENCE_MARKER, ChurnEvent, ChurnSchedule
+from repro.network.churn import REFERENCE_MARKER, ChurnEvent
 from repro.network.ibss import build_network
 from repro.sim.units import S
 

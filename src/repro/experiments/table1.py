@@ -28,7 +28,7 @@ from typing import Dict, Optional, Sequence
 
 from repro.analysis.metrics import INDUSTRY_THRESHOLD_US, sync_latency_us
 from repro.core.config import SstspConfig
-from repro.experiments.report import format_table, save_trace_csv
+from repro.experiments.report import format_table
 from repro.experiments.scenarios import TABLE1_INITIAL_OFFSET_US, quick_spec
 from repro.fastlane import run_sstsp_vectorized
 from repro.sim.units import S

@@ -1,0 +1,27 @@
+"""Declarative fault injection: specs, plans and the runner-side injector.
+
+See :mod:`repro.faults.spec` for the fault vocabulary and
+:mod:`repro.faults.injector` for how plans are applied to a live network.
+The chaos soak harness (:mod:`repro.experiments.chaos`) generates
+randomized plans and checks recovery invariants after each.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.spec import (
+    CHANNEL_FAULT_KINDS,
+    FAULT_KINDS,
+    NODE_FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    random_plan,
+)
+
+__all__ = [
+    "CHANNEL_FAULT_KINDS",
+    "FAULT_KINDS",
+    "NODE_FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "random_plan",
+]

@@ -1,0 +1,298 @@
+"""Declarative fault schedules.
+
+A :class:`FaultSpec` is one fault — pure data: *what* goes wrong, *when*
+(beacon-period indices), *where* (a node id, :data:`REFERENCE_MARKER` for
+"whoever is the reference at fire time", or nothing for channel-wide
+faults) and *how hard* (a magnitude whose unit depends on the kind). A
+:class:`FaultPlan` is an ordered collection of specs plus provenance
+(name, seed), serializable to/from plain dicts so plans can be logged,
+stored and replayed bit-exactly.
+
+Fault kinds
+-----------
+
+========== ======= ===========================================================
+kind       target  semantics
+========== ======= ===========================================================
+freq_step  node    oscillator rate steps by ``magnitude`` ppm (continuous in
+                   value at the fire instant; permanent)
+freq_ramp  node    rate drifts by ``magnitude`` ppm total, applied in equal
+                   per-period increments over ``duration_periods``
+clock_jump node    hardware timestamp jumps by ``magnitude`` us (a
+                   discontinuity by design — reboots, counter glitches)
+crash      node    hard crash at ``start_period`` (no graceful leave); the
+                   node reboots ``duration_periods`` later and re-joins
+                   through the coarse phase (0 = never restarts)
+stall      node    the node freezes for the window: no tx, no rx, no
+                   protocol processing; its clock keeps running
+jam        channel every transmission inside the window is suppressed
+loss_burst channel per-transmission loss probability is forced to
+                   ``magnitude`` for the window (burst-loss regime)
+partition  channel the network splits into two groups for the window;
+                   ``magnitude`` is the fraction of nodes in the first
+                   group (carrier sensing and delivery are both split)
+========== ======= ===========================================================
+
+The schedule is *pure data*: applying it to a live network is the
+:class:`repro.faults.injector.FaultInjector`'s job.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.network.churn import REFERENCE_MARKER
+
+#: Kinds targeting one node (``node_id`` required).
+NODE_FAULT_KINDS = frozenset(
+    {"freq_step", "freq_ramp", "clock_jump", "crash", "stall"}
+)
+#: Kinds targeting the shared channel (``node_id`` must be None).
+CHANNEL_FAULT_KINDS = frozenset({"jam", "loss_burst", "partition"})
+#: All known kinds.
+FAULT_KINDS = NODE_FAULT_KINDS | CHANNEL_FAULT_KINDS
+#: Kinds that require a window (``duration_periods >= 1``).
+WINDOWED_KINDS = frozenset(
+    {"freq_ramp", "stall", "jam", "loss_burst", "partition"}
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault (see the module table for kind semantics).
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`FAULT_KINDS`.
+    start_period:
+        Beacon period (>= 1) at whose start the fault fires.
+    duration_periods:
+        Window length for windowed kinds; restart delay for ``crash``
+        (0 = the node never restarts); ignored for ``freq_step`` and
+        ``clock_jump``.
+    node_id:
+        Target station for node faults; :data:`REFERENCE_MARKER` means
+        "whoever is the reference when the fault fires" (``crash``,
+        ``stall`` and the clock kinds accept it). Must be None for
+        channel faults.
+    magnitude:
+        Kind-dependent intensity (ppm, us, probability or fraction).
+    """
+
+    kind: str
+    start_period: int
+    duration_periods: int = 0
+    node_id: Optional[int] = None
+    magnitude: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}: expected one of "
+                f"{sorted(FAULT_KINDS)}"
+            )
+        if self.start_period < 1:
+            raise ValueError("start_period must be >= 1")
+        if self.duration_periods < 0:
+            raise ValueError("duration_periods must be >= 0")
+        if self.kind in WINDOWED_KINDS and self.duration_periods < 1:
+            raise ValueError(f"{self.kind} needs duration_periods >= 1")
+        if self.kind in NODE_FAULT_KINDS and self.node_id is None:
+            raise ValueError(f"{self.kind} needs a node_id")
+        if self.kind in CHANNEL_FAULT_KINDS and self.node_id is not None:
+            raise ValueError(f"{self.kind} is channel-wide: node_id must be None")
+        if not math.isfinite(self.magnitude):
+            raise ValueError("magnitude must be finite")
+        if self.kind == "loss_burst" and not 0.0 <= self.magnitude <= 1.0:
+            raise ValueError("loss_burst magnitude is a probability in [0, 1]")
+        if self.kind == "partition" and not 0.0 < self.magnitude < 1.0:
+            raise ValueError("partition magnitude is a fraction in (0, 1)")
+
+    @property
+    def end_period(self) -> int:
+        """First period *not* affected by this fault (start for instant
+        kinds; ``start + duration`` for windows and restarting crashes)."""
+        if self.kind in ("freq_step", "clock_jump"):
+            return self.start_period
+        return self.start_period + self.duration_periods
+
+    def covers(self, period: int) -> bool:
+        """Whether a windowed fault is active during ``period``."""
+        return self.start_period <= period < self.start_period + self.duration_periods
+
+    def to_dict(self) -> Dict:
+        """Plain-dict form (JSON-safe)."""
+        return {
+            "kind": self.kind,
+            "start_period": self.start_period,
+            "duration_periods": self.duration_periods,
+            "node_id": self.node_id,
+            "magnitude": self.magnitude,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FaultSpec":
+        """Inverse of :meth:`to_dict` (validates on construction)."""
+        return cls(
+            kind=data["kind"],
+            start_period=int(data["start_period"]),
+            duration_periods=int(data.get("duration_periods", 0)),
+            node_id=(
+                None if data.get("node_id") is None else int(data["node_id"])
+            ),
+            magnitude=float(data.get("magnitude", 0.0)),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, serializable collection of faults.
+
+    Attributes
+    ----------
+    faults:
+        The specs, kept in ``(start_period, kind)`` order.
+    name:
+        Free-form label (shown in logs and chaos reports).
+    seed:
+        Generator seed the plan was derived from, if any (provenance
+        only; replaying a plan never re-draws randomness).
+    """
+
+    faults: Tuple[FaultSpec, ...] = ()
+    name: str = ""
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        ordered = tuple(
+            sorted(self.faults, key=lambda f: (f.start_period, f.kind))
+        )
+        object.__setattr__(self, "faults", ordered)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __iter__(self) -> Iterator[FaultSpec]:
+        return iter(self.faults)
+
+    def last_affected_period(self) -> int:
+        """Largest period any fault still affects (0 for an empty plan)."""
+        return max((f.end_period for f in self.faults), default=0)
+
+    def kinds(self) -> List[str]:
+        """Kind of every fault, in schedule order."""
+        return [f.kind for f in self.faults]
+
+    def to_dict(self) -> Dict:
+        """Plain-dict form (JSON-safe)."""
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "faults": [f.to_dict() for f in self.faults],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FaultPlan":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            faults=tuple(FaultSpec.from_dict(f) for f in data.get("faults", ())),
+            name=data.get("name", ""),
+            seed=data.get("seed"),
+        )
+
+
+def random_plan(
+    rng: np.random.Generator,
+    periods: int,
+    node_ids: Sequence[int],
+    first_period: int = 40,
+    last_period: Optional[int] = None,
+    fault_count: Tuple[int, int] = (3, 8),
+    include_reference_crash: bool = True,
+    name: str = "",
+    seed: Optional[int] = None,
+) -> FaultPlan:
+    """Draw a randomized adversarial schedule with bounded magnitudes.
+
+    Every fault fires at or after ``first_period`` (the network must have
+    elected and converged first) and stops affecting the run before
+    ``last_period`` (default ``periods``), leaving a fault-free recovery
+    tail the chaos invariants are checked against. Magnitudes are bounded
+    so a hardened protocol *can* recover: frequency faults stay within a
+    few hundred ppm, most timestamp jumps stay under the fine guard (the
+    occasional larger one exercises the coarse-restart recovery), and
+    stall/partition windows are short enough that free-running clocks
+    stay inside the guard when the window heals.
+
+    With ``include_reference_crash`` (default) the plan always contains
+    one crash of the current reference — the re-election invariant needs
+    at least one per plan.
+    """
+    last = periods if last_period is None else last_period
+    if not 1 <= first_period < last:
+        raise ValueError("need 1 <= first_period < last_period")
+    ids = [int(i) for i in node_ids]
+    if not ids:
+        raise ValueError("need at least one node id")
+
+    def window(max_dur: int, min_dur: int = 1) -> Tuple[int, int]:
+        dur = int(rng.integers(min_dur, max_dur + 1))
+        dur = min(dur, last - 1 - first_period)
+        start = int(rng.integers(first_period, last - dur))
+        return start, dur
+
+    faults: List[FaultSpec] = []
+    if include_reference_crash:
+        start, dur = window(40, 15)
+        faults.append(
+            FaultSpec("crash", start, dur, node_id=REFERENCE_MARKER)
+        )
+
+    kinds = [
+        "freq_step", "freq_ramp", "clock_jump", "crash",
+        "stall", "jam", "loss_burst", "partition",
+    ]
+    count = int(rng.integers(fault_count[0], fault_count[1] + 1))
+    for _ in range(count):
+        kind = kinds[int(rng.integers(0, len(kinds)))]
+        node = ids[int(rng.integers(0, len(ids)))]
+        if kind == "freq_step":
+            ppm = float(rng.uniform(20.0, 150.0)) * (1 if rng.random() < 0.5 else -1)
+            start = int(rng.integers(first_period, last))
+            faults.append(FaultSpec(kind, start, node_id=node, magnitude=ppm))
+        elif kind == "freq_ramp":
+            ppm = float(rng.uniform(50.0, 250.0)) * (1 if rng.random() < 0.5 else -1)
+            start, dur = window(40, 10)
+            faults.append(FaultSpec(kind, start, dur, node_id=node, magnitude=ppm))
+        elif kind == "clock_jump":
+            if rng.random() < 0.8:
+                jump = float(rng.uniform(50.0, 350.0))
+            else:
+                # beyond the fine guard: forces the recovery watchdog
+                jump = float(rng.uniform(600.0, 1500.0))
+            jump *= 1 if rng.random() < 0.5 else -1
+            start = int(rng.integers(first_period, last))
+            faults.append(FaultSpec(kind, start, node_id=node, magnitude=jump))
+        elif kind == "crash":
+            start, dur = window(50, 10)
+            faults.append(FaultSpec(kind, start, dur, node_id=node))
+        elif kind == "stall":
+            start, dur = window(15, 5)
+            faults.append(FaultSpec(kind, start, dur, node_id=node))
+        elif kind == "jam":
+            start, dur = window(12, 3)
+            faults.append(FaultSpec(kind, start, dur))
+        elif kind == "loss_burst":
+            start, dur = window(30, 8)
+            per = float(rng.uniform(0.3, 0.9))
+            faults.append(FaultSpec(kind, start, dur, magnitude=per))
+        else:  # partition
+            start, dur = window(15, 8)
+            frac = float(rng.uniform(0.3, 0.5))
+            faults.append(FaultSpec(kind, start, dur, magnitude=frac))
+    return FaultPlan(faults=tuple(faults), name=name, seed=seed)

@@ -37,7 +37,6 @@ from repro.core.adjustment import (
     DegenerateSamplesError,
     solve_adjustment,
 )
-from repro.core.config import SstspConfig
 from repro.multihop.topology import Topology
 from repro.sim.rng import RngRegistry
 from repro.sim.units import S

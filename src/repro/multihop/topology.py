@@ -8,7 +8,7 @@ regular grids, and worst-case chains.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 import networkx as nx
 import numpy as np

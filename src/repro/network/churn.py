@@ -78,23 +78,37 @@ class ChurnSchedule:
         """
         schedule = cls()
         n = len(node_ids)
-        ids = np.asarray(node_ids)
 
         def period_of(t_s: float) -> int:
             return int(round(t_s * S / beacon_period_us))
 
         away_periods = max(1, period_of(away_s))
+        # Station id -> first period it is back (tracked so that when
+        # away_s > leave_every_s a station still away cannot be sampled
+        # into the next departure group, which would silently mispair its
+        # leave/return events).
+        away_until: dict = {}
         k = 1
         while True:
             leave_period = period_of(k * leave_every_s)
             if leave_period >= total_periods:
                 break
+            eligible = np.asarray(
+                [i for i in node_ids if away_until.get(i, 0) <= leave_period]
+            )
             group_size = max(1, int(round(n * leave_fraction)))
+            group_size = min(group_size, len(eligible))
+            if group_size == 0:
+                k += 1
+                continue
             group = tuple(
-                int(i) for i in rng.choice(ids, size=group_size, replace=False)
+                int(i)
+                for i in rng.choice(eligible, size=group_size, replace=False)
             )
             schedule.add(ChurnEvent(leave_period, "leave", group))
             return_period = leave_period + away_periods
+            for i in group:
+                away_until[i] = return_period
             if return_period < total_periods:
                 schedule.add(ChurnEvent(return_period, "return", group))
             k += 1

@@ -11,7 +11,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
-from repro.clocks.oscillator import HardwareClock, sample_rates
 from repro.clocks.population import ClockPopulation
 from repro.core.backend import (
     CryptoBackend,

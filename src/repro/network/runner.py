@@ -4,13 +4,19 @@ Each beacon period the runner:
 
 1. applies churn events due this period (``REFERENCE_MARKER`` resolved to
    the current reference);
-2. asks every present node's protocol for a transmission intent and maps
-   it to the true-time axis through that node's clocks;
-3. resolves the beacon window with the carrier-sense contention cascade;
-4. builds the winning beacon (if any), pushes it through the lossy
-   broadcast channel, and dispatches receptions with per-receiver
+2. fires the attached fault injector's period-start hook (crashes,
+   restarts, clock mutations, channel windows) and queries it for the
+   period's stalled nodes and partition split;
+3. asks every present, un-stalled node's protocol for a transmission
+   intent and maps it to the true-time axis through that node's clocks;
+4. resolves the beacon window with the carrier-sense contention cascade —
+   per partition group when the network is split, so carrier sensing
+   never leaks across a partition;
+5. builds the winning beacon(s), pushes them through the lossy broadcast
+   channel, and dispatches receptions with per-receiver
    timestamp-estimate jitter;
-5. runs end-of-period hooks and records the metric sample.
+6. runs end-of-period hooks, records the metric sample, and fires the
+   injector's period-end hook (expiring channel effects).
 
 Rounds and churn are sequenced through the discrete-event kernel so that
 other event sources (tests inject their own) interleave correctly.
@@ -20,9 +26,12 @@ from __future__ import annotations
 
 import logging
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.injector import FaultInjector
 
 from repro.analysis.metrics import TraceRecorder, SyncTrace
 from repro.mac.contention import ContentionResult, resolve_contention
@@ -96,6 +105,7 @@ class NetworkRunner:
         phy: PhyParams,
         params: RunnerParams,
         churn: Optional[ChurnSchedule] = None,
+        injector: Optional["FaultInjector"] = None,
     ) -> None:
         ids = [node.node_id for node in nodes]
         if len(set(ids)) != len(ids):
@@ -112,6 +122,14 @@ class NetworkRunner:
         self._beacon_successes = 0
         self._windows = 0
         self._last_beacon_true = 0.0
+        self.injector = None
+        if injector is not None:
+            self.attach_injector(injector)
+
+    def attach_injector(self, injector: "FaultInjector") -> None:
+        """Bind a fault injector; its hooks run every period from now on."""
+        injector.bind(self)
+        self.injector = injector
 
     # ------------------------------------------------------------------
     # Public API
@@ -150,38 +168,78 @@ class NetworkRunner:
     def _run_period(self, period: int) -> None:
         bp = self.params.beacon_period_us
         self._apply_churn(period)
-        awake = [node for node in self.nodes if node.present]
+        if self.injector is not None:
+            self.injector.on_period_start(period)
+            stalled = self.injector.stalled_ids(period)
+            partition = self.injector.partition_groups(period)
+        else:
+            stalled = frozenset()
+            partition = None
+        # Stalled nodes are present (their clocks keep running and they
+        # stay in the metric) but frozen: no tx, no rx, no hooks.
+        active = [
+            node
+            for node in self.nodes
+            if node.present and node.node_id not in stalled
+        ]
+        now = period * bp
+        for node in active:
+            node.protocol.on_period_time(period, node.hw.read(now))
 
         candidates = []
-        for node in awake:
+        for node in active:
             intent = node.protocol.begin_period(period)
             if intent is None:
                 continue
             candidates.append((node.node_id, node.scheduled_true_time(intent)))
 
-        airtime = self.params.beacon_airtime_slots * self.phy.slot_time_us
-        if candidates:
-            self._windows += 1
-            result = resolve_contention(candidates, airtime, self.phy.cca_us)
+        # A partition splits carrier sensing as well as delivery: each
+        # group resolves its own beacon window.
+        if partition is None:
+            domains = [(candidates, [node.node_id for node in active])]
         else:
-            result = ContentionResult()
+            domains = []
+            for group in sorted(set(partition.values())):
+                members = [
+                    node.node_id
+                    for node in active
+                    if partition.get(node.node_id) == group
+                ]
+                group_candidates = [
+                    c for c in candidates if partition.get(c[0]) == group
+                ]
+                domains.append((group_candidates, members))
 
+        airtime = self.params.beacon_airtime_slots * self.phy.slot_time_us
         transmitted_ids = set()
-        for tx in result.transmissions:
-            transmitted_ids.update(tx.members)
-            if not tx.success:
-                self.channel.record_collision(len(tx.members))
-
-        success = result.first_success
         received_ids = set()
-        winner_id = -2
-        if success is not None:
+        winner_ids = set()
+        success_starts = []
+        for group_candidates, members in domains:
+            if group_candidates:
+                self._windows += 1
+                result = resolve_contention(
+                    group_candidates, airtime, self.phy.cca_us
+                )
+            else:
+                result = ContentionResult()
+
+            for tx in result.transmissions:
+                transmitted_ids.update(tx.members)
+                if not tx.success:
+                    self.channel.record_collision(len(tx.members))
+
+            success = result.first_success
+            if success is None:
+                continue
             winner_id = success.members[0]
+            winner_ids.add(winner_id)
+            success_starts.append(success.start_us)
             sender = self._by_id[winner_id]
             hw_tx = sender.hw.read(success.start_us)
             frame = sender.protocol.make_frame(hw_tx, period)
             self._beacon_successes += 1
-            pool = [node.node_id for node in awake if node.node_id != winner_id]
+            pool = [nid for nid in members if nid != winner_id]
             delivered = self.channel.broadcast(
                 winner_id, pool, success.start_us, frame.size_bytes
             )
@@ -203,20 +261,20 @@ class NetworkRunner:
                 rnode.protocol.on_beacon(frame, rx)
                 received_ids.add(rid)
 
-        for node in awake:
+        for node in active:
             node.protocol.end_period(
                 period,
                 heard_beacon=node.node_id in received_ids,
                 transmitted=node.node_id in transmitted_ids,
-                tx_success=node.node_id == winner_id,
+                tx_success=node.node_id in winner_ids,
             )
 
         # Sample at a fixed phase relative to the beacon grid (see the
         # vector engine): emission instants drift against the nominal grid
         # at the timebase's pace error, and tying the sample phase to the
         # beacons keeps "0.9 BP after the last correction" true all run.
-        if success is not None:
-            self._last_beacon_true = success.start_us
+        if success_starts:
+            self._last_beacon_true = min(success_starts)
         else:
             self._last_beacon_true += bp
         sample_time = (
@@ -240,6 +298,8 @@ class NetworkRunner:
         self.recorder.record(
             sample_time, values, self.current_reference(), full_values=full
         )
+        if self.injector is not None:
+            self.injector.on_period_end(period)
 
     # ------------------------------------------------------------------
     # Churn

@@ -2,15 +2,20 @@
 
 Collisions are resolved *before* delivery by the MAC contention cascade
 (:mod:`repro.mac.contention`); the channel's job is the per-receiver fate
-of an un-collided transmission: an independent packet-error coin flip per
-receiver, suppression during jamming windows, and bookkeeping for the
-traffic-overhead model.
+of an un-collided transmission: a packet-error draw per receiver or per
+transmission (including the Gilbert-Elliott burst-loss chain), suppression
+during jamming windows, and bookkeeping for the traffic-overhead model.
+
+Fault injection (:mod:`repro.faults`) can additionally force a temporary
+per-transmission loss probability (:meth:`BroadcastChannel.set_per_override`)
+to model loss bursts independent of the configured loss model.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, List, Sequence, Tuple
+import bisect
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -42,30 +47,69 @@ class BroadcastChannel:
     phy:
         Timing/loss parameters.
     rng:
-        Stream for the per-receiver packet-error draws.
+        Stream for the per-receiver packet-error draws (and the
+        Gilbert-Elliott state transitions when that loss model is on).
     """
 
     def __init__(self, phy: PhyParams, rng: np.random.Generator) -> None:
         self.phy = phy
         self._rng = rng
         self.stats = ChannelStats()
+        # Jam windows sorted by start; _jam_max_end[i] is the prefix
+        # maximum of end times over windows[0..i], so a membership query
+        # is one bisect instead of a scan over all windows (chaos plans
+        # add many windows per run).
         self._jam_windows: List[Tuple[float, float]] = []
+        self._jam_starts: List[float] = []
+        self._jam_max_end: List[float] = []
+        self._per_override: Optional[float] = None
+        self._ge_bad = False
 
     def add_jam_window(self, start_us: float, end_us: float) -> None:
         """Suppress all receptions whose transmission starts in
-        ``[start_us, end_us)`` (true time). Used by pulse-delay attacks."""
+        ``[start_us, end_us)`` (true time). Used by pulse-delay attacks
+        and injected jam faults."""
         if end_us <= start_us:
             raise ValueError("jam window must have end > start")
-        self._jam_windows.append((float(start_us), float(end_us)))
+        window = (float(start_us), float(end_us))
+        idx = bisect.bisect_right(self._jam_starts, window[0])
+        self._jam_windows.insert(idx, window)
+        self._jam_starts.insert(idx, window[0])
+        # Rebuild the prefix maximum from the insertion point on.
+        del self._jam_max_end[idx:]
+        running = self._jam_max_end[-1] if self._jam_max_end else -np.inf
+        for _, end in self._jam_windows[idx:]:
+            running = max(running, end)
+            self._jam_max_end.append(running)
 
     def is_jammed(self, true_time: float) -> bool:
         """Whether a transmission starting at ``true_time`` is jammed."""
-        return any(start <= true_time < end for start, end in self._jam_windows)
+        idx = bisect.bisect_right(self._jam_starts, true_time) - 1
+        return idx >= 0 and true_time < self._jam_max_end[idx]
+
+    def set_per_override(self, per: Optional[float]) -> None:
+        """Force a per-transmission loss probability (None restores the
+        configured loss model). Fault injection uses this for loss bursts."""
+        if per is not None and not 0.0 <= per <= 1.0:
+            raise ValueError("per override must be in [0, 1] or None")
+        self._per_override = per
 
     def record_collision(self, parties: int) -> None:
         """Account a collision of ``parties`` simultaneous transmitters."""
         self.stats.collisions += 1
         self.stats.transmissions += parties
+
+    def _gilbert_elliott_per(self) -> float:
+        """Advance the two-state loss chain once and return the loss
+        probability for this transmission."""
+        phy = self.phy
+        if self._ge_bad:
+            if self._rng.random() < phy.ge_p_bad_to_good:
+                self._ge_bad = False
+        else:
+            if self._rng.random() < phy.ge_p_good_to_bad:
+                self._ge_bad = True
+        return phy.ge_per_bad if self._ge_bad else phy.packet_error_rate
 
     def broadcast(
         self,
@@ -76,8 +120,11 @@ class BroadcastChannel:
     ) -> List[int]:
         """Deliver one un-collided transmission; return receivers that decode it.
 
-        Each receiver independently loses the frame with probability
-        ``phy.packet_error_rate``. If ``true_time`` falls in a jam window,
+        With ``loss_model="per_receiver"`` each receiver independently
+        loses the frame with probability ``phy.packet_error_rate``; with
+        ``"per_transmission"`` one coin decides for everyone; with
+        ``"gilbert_elliott"`` the per-transmission coin's bias follows the
+        two-state burst chain. If ``true_time`` falls in a jam window,
         nobody receives.
         """
         self.stats.transmissions += 1
@@ -88,11 +135,19 @@ class BroadcastChannel:
         if self.is_jammed(true_time):
             self.stats.jammed_drops += len(receivers)
             return []
-        per = self.phy.packet_error_rate
+        if self._per_override is not None:
+            per = self._per_override
+            whole_frame = True
+        elif self.phy.loss_model == "gilbert_elliott":
+            per = self._gilbert_elliott_per()
+            whole_frame = True
+        else:
+            per = self.phy.packet_error_rate
+            whole_frame = self.phy.loss_model == "per_transmission"
         if per <= 0.0:
             self.stats.deliveries += len(receivers)
             return list(receivers)
-        if self.phy.loss_model == "per_transmission":
+        if whole_frame:
             if self._rng.random() < per:
                 self.stats.per_drops += len(receivers)
                 return []

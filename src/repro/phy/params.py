@@ -51,7 +51,17 @@ class PhyParams:
         beacon, lost for everyone (the reading consistent with the paper's
         very clean 500-node curves: with per-receiver loss at N = 500,
         *some* receiver misses nearly every beacon, and with ``l = 1``
-        each miss triggers a spurious election).
+        each miss triggers a spurious election); ``"gilbert_elliott"`` -
+        per-transmission loss whose probability follows the classic
+        two-state burst chain (good state uses ``packet_error_rate``, bad
+        state ``ge_per_bad``), matching the bursty regimes studied for
+        beaconless WSN sync (arXiv:1906.09037).
+    ge_p_good_to_bad / ge_p_bad_to_good:
+        Gilbert-Elliott transition probabilities, advanced once per
+        transmission. Expected burst length is ``1 / ge_p_bad_to_good``
+        transmissions.
+    ge_per_bad:
+        Loss probability while the chain is in the bad state.
     cca_us:
         Vulnerability window of carrier sensing: two transmissions whose
         starts are closer than this collide; a later one senses the medium
@@ -67,6 +77,9 @@ class PhyParams:
     packet_error_rate: float = 1e-4
     loss_model: str = "per_receiver"
     cca_us: float = 9.0 * US
+    ge_p_good_to_bad: float = 0.02
+    ge_p_bad_to_good: float = 0.25
+    ge_per_bad: float = 0.6
 
     def __post_init__(self) -> None:
         if self.slot_time_us <= 0:
@@ -79,11 +92,17 @@ class PhyParams:
             raise ValueError("delays must be >= 0")
         if self.cca_us <= 0:
             raise ValueError("cca_us must be > 0")
-        if self.loss_model not in ("per_receiver", "per_transmission"):
+        if self.loss_model not in (
+            "per_receiver", "per_transmission", "gilbert_elliott"
+        ):
             raise ValueError(
                 f"unknown loss_model {self.loss_model!r}: expected "
-                "'per_receiver' or 'per_transmission'"
+                "'per_receiver', 'per_transmission' or 'gilbert_elliott'"
             )
+        for name in ("ge_p_good_to_bad", "ge_p_bad_to_good", "ge_per_bad"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
 
     @property
     def beacon_airtime_us(self) -> float:

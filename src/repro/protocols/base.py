@@ -89,6 +89,15 @@ class SyncProtocol(ABC):
     #: air-timed differently from plain TSF beacons).
     secure_beacons: bool = False
 
+    def on_period_time(self, period: int, hw_time: float) -> None:
+        """Period-start observation of this node's own hardware clock.
+
+        The harness calls this before :meth:`begin_period` so drivers
+        that need a hardware timestamp outside of beacon receptions (for
+        example SSTSP's free-run slew hardening, which re-anchors the
+        adjusted clock while *no* beacons arrive) have a current one.
+        Default: no-op."""
+
     @abstractmethod
     def begin_period(self, period: int) -> Optional[TxIntent]:
         """Called at the start of beacon period ``period``; return a

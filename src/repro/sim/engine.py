@@ -99,8 +99,10 @@ class Simulator:
         time advances); scheduling in the past raises
         :class:`SimulationError`.
         """
-        if math.isnan(time):
-            raise SimulationError("cannot schedule at NaN time")
+        if not math.isfinite(time):
+            # inf would be accepted by the past-check below but wedge the
+            # run(until=...) bookkeeping (now can never advance past it).
+            raise SimulationError(f"cannot schedule at non-finite time {time}")
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at t={time} before current time {self._now}"

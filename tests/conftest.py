@@ -10,7 +10,6 @@ from repro.core.backend import ModeledCryptoBackend
 from repro.core.config import SstspConfig
 from repro.crypto.mutesla import IntervalSchedule
 from repro.sim.rng import RngRegistry
-from repro.sim.units import S
 
 
 @pytest.fixture

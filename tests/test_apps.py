@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.analysis.metrics import SyncTrace, TraceRecorder
+from repro.analysis.metrics import TraceRecorder
 from repro.apps import (
     FhssConfig,
     PowerSaveConfig,
@@ -75,8 +75,6 @@ class TestPowerSave:
         assert good.energy_savings_vs(bad) > 0.5
 
     def test_needs_values(self):
-        trace = TraceRecorder().finalize()
-
         recorder = TraceRecorder()
         recorder.record(1.0, [1.0, 2.0], 0)
         with pytest.raises(ValueError):

@@ -1,6 +1,5 @@
 """Unit tests for the (k, b) adjustment math and the lemma calculators."""
 
-import math
 
 import pytest
 

@@ -1,7 +1,6 @@
 """Tests of the experiment harness: every paper table/figure regenerates
 with the right shape at quick scale, and the reporting helpers behave."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.metrics import TraceRecorder

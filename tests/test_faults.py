@@ -1,0 +1,324 @@
+"""Tests for the fault-injection subsystem and the chaos soak harness."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SstspConfig
+from repro.experiments.chaos import (
+    ChaosLimits,
+    lemma2_loss_bound,
+    outcome_fingerprint,
+    run_chaos,
+    run_plan,
+)
+from repro.faults import FaultInjector, FaultPlan, FaultSpec, random_plan
+from repro.network.churn import REFERENCE_MARKER
+from repro.network.ibss import ScenarioSpec, build_sstsp_network
+
+
+def make_runner(n=8, seed=3, duration_s=10.0, plan=None, config=None):
+    spec = ScenarioSpec(n=n, seed=seed, duration_s=duration_s)
+    runner = build_sstsp_network(spec, config=config)
+    if plan is not None:
+        runner.attach_injector(FaultInjector(plan))
+    return runner
+
+
+class TestFaultSpec:
+    def test_node_kinds_require_node_id(self):
+        for kind in ("freq_step", "clock_jump", "crash"):
+            with pytest.raises(ValueError):
+                FaultSpec(kind, 10)
+
+    def test_channel_kinds_reject_node_id(self):
+        with pytest.raises(ValueError):
+            FaultSpec("jam", 10, 5, node_id=3)
+
+    def test_windowed_kinds_need_duration(self):
+        with pytest.raises(ValueError):
+            FaultSpec("stall", 10, 0, node_id=1)
+        with pytest.raises(ValueError):
+            FaultSpec("partition", 10, 0, magnitude=0.5)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec("meteor", 10, node_id=1)
+
+    def test_magnitude_ranges(self):
+        with pytest.raises(ValueError):
+            FaultSpec("loss_burst", 10, 5, magnitude=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec("partition", 10, 5, magnitude=1.0)
+        with pytest.raises(ValueError):
+            FaultSpec("clock_jump", 10, node_id=1, magnitude=float("nan"))
+
+    def test_covers_and_end_period(self):
+        spec = FaultSpec("stall", 10, 5, node_id=1)
+        assert spec.end_period == 15
+        assert spec.covers(10) and spec.covers(14)
+        assert not spec.covers(9) and not spec.covers(15)
+        instant = FaultSpec("clock_jump", 7, node_id=1, magnitude=10.0)
+        assert instant.end_period == 7
+
+    def test_dict_round_trip(self):
+        spec = FaultSpec("crash", 20, 15, node_id=REFERENCE_MARKER)
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestFaultPlan:
+    def test_faults_sorted_by_start(self):
+        plan = FaultPlan(
+            faults=(
+                FaultSpec("jam", 30, 3),
+                FaultSpec("crash", 10, 5, node_id=1),
+            )
+        )
+        assert [f.start_period for f in plan] == [10, 30]
+
+    def test_len_and_kinds(self):
+        plan = FaultPlan(
+            faults=(
+                FaultSpec("crash", 10, 5, node_id=1),
+                FaultSpec("jam", 30, 3),
+            )
+        )
+        assert len(plan) == 2
+        assert plan.kinds() == ["crash", "jam"]
+
+    def test_last_affected_period(self):
+        plan = FaultPlan(
+            faults=(
+                FaultSpec("crash", 10, 50, node_id=1),
+                FaultSpec("jam", 30, 3),
+            )
+        )
+        assert plan.last_affected_period() == 60
+        assert FaultPlan().last_affected_period() == 0
+
+    def test_dict_round_trip(self):
+        plan = FaultPlan(
+            faults=(
+                FaultSpec("loss_burst", 12, 6, magnitude=0.5),
+                FaultSpec("freq_step", 9, node_id=2, magnitude=-80.0),
+            ),
+            name="round-trip",
+            seed=99,
+        )
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+
+class TestRandomPlan:
+    def test_faults_respect_bounds(self):
+        rng = np.random.default_rng(5)
+        plan = random_plan(rng, periods=300, node_ids=list(range(10)),
+                           first_period=40, last_period=200)
+        assert len(plan) >= 1
+        for fault in plan:
+            assert fault.start_period >= 40
+            assert fault.end_period <= 200
+
+    def test_reference_crash_included(self):
+        rng = np.random.default_rng(5)
+        plan = random_plan(rng, periods=300, node_ids=[0, 1, 2])
+        crashes = [
+            f for f in plan
+            if f.kind == "crash" and f.node_id == REFERENCE_MARKER
+        ]
+        assert len(crashes) >= 1
+
+    def test_deterministic_given_rng(self):
+        a = random_plan(np.random.default_rng(8), 300, list(range(6)))
+        b = random_plan(np.random.default_rng(8), 300, list(range(6)))
+        assert a == b
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            random_plan(np.random.default_rng(1), 300, [0, 1],
+                        first_period=250, last_period=200)
+        with pytest.raises(ValueError):
+            random_plan(np.random.default_rng(1), 300, [])
+
+
+class TestInjectorClockFaults:
+    def test_freq_step_is_value_continuous(self):
+        runner = make_runner(plan=FaultPlan())
+        node = runner.nodes[0]
+        bp = runner.params.beacon_period_us
+        before = node.hw.read(5 * bp)
+        old_rate = node.hw.rate
+        runner.injector._step_rate(5, node, 150.0)
+        assert node.hw.read(5 * bp) == pytest.approx(before, abs=1e-6)
+        assert node.hw.rate == pytest.approx(old_rate * (1 + 150e-6))
+
+    def test_freq_step_applied_during_run(self):
+        plan = FaultPlan(
+            faults=(FaultSpec("freq_step", 5, node_id=0, magnitude=100.0),)
+        )
+        runner = make_runner(duration_s=1.0, plan=plan)
+        base_rate = runner.nodes[0].hw.rate
+        runner.run()
+        assert runner.nodes[0].hw.rate == pytest.approx(base_rate * (1 + 100e-6))
+
+    def test_freq_ramp_accumulates_over_window(self):
+        plan = FaultPlan(
+            faults=(FaultSpec("freq_ramp", 3, 4, node_id=1, magnitude=200.0),)
+        )
+        runner = make_runner(duration_s=1.0, plan=plan)
+        base_rate = runner.nodes[1].hw.rate
+        runner.run()
+        # four per-period increments of 50 ppm each
+        expected = base_rate * (1 + 50e-6) ** 4
+        assert runner.nodes[1].hw.rate == pytest.approx(expected, rel=1e-9)
+
+    def test_clock_jump_shifts_hardware_time(self):
+        plan = FaultPlan(
+            faults=(FaultSpec("clock_jump", 4, node_id=2, magnitude=250.0),)
+        )
+        runner = make_runner(duration_s=1.0, plan=plan)
+        node = runner.nodes[2]
+        bp = runner.params.beacon_period_us
+        before = node.hw.read(10 * bp)
+        runner.run()
+        assert node.hw.read(10 * bp) == pytest.approx(before + 250.0, abs=1e-6)
+
+
+class TestInjectorNodeFaults:
+    def test_crash_and_restart(self):
+        plan = FaultPlan(
+            faults=(FaultSpec("crash", 10, 20, node_id=3),)
+        )
+        runner = make_runner(duration_s=5.0, plan=plan)
+        result = runner.run()
+        # absent for exactly the crash window, present again afterwards
+        assert result.trace.present_counts.min() == 7
+        assert runner.nodes[3].present
+        assert any("crash node 3" in line for line in runner.injector.log)
+        assert any("restart node 3" in line for line in runner.injector.log)
+
+    def test_crash_without_restart_is_permanent(self):
+        plan = FaultPlan(faults=(FaultSpec("crash", 10, 0, node_id=3),))
+        runner = make_runner(duration_s=3.0, plan=plan)
+        runner.run()
+        assert not runner.nodes[3].present
+
+    def test_reference_crash_recorded(self):
+        plan = FaultPlan(
+            faults=(FaultSpec("crash", 30, 20, node_id=REFERENCE_MARKER),)
+        )
+        runner = make_runner(duration_s=8.0, plan=plan)
+        result = runner.run()
+        assert len(runner.injector.reference_crashes) == 1
+        period, crashed = runner.injector.reference_crashes[0]
+        assert period == 30
+        # a (possibly different) reference exists again at the end
+        assert result.trace.reference_ids[-1] >= 0
+
+    def test_reference_marker_with_no_reference_skips(self):
+        plan = FaultPlan(
+            faults=(FaultSpec("crash", 1, 5, node_id=REFERENCE_MARKER),)
+        )
+        runner = make_runner(duration_s=1.0, plan=plan)
+        runner.run()
+        assert runner.injector.reference_crashes == []
+        assert any("skipped" in line for line in runner.injector.log)
+
+    def test_stall_keeps_node_present_but_frozen(self):
+        plan = FaultPlan(faults=(FaultSpec("stall", 10, 8, node_id=4),))
+        runner = make_runner(duration_s=3.0, plan=plan)
+        result = runner.run()
+        assert result.trace.present_counts.min() == 8  # never absent
+        assert runner.injector.stalled_ids(10) == frozenset({4})
+        assert runner.injector.stalled_ids(17) == frozenset({4})
+        assert runner.injector.stalled_ids(18) == frozenset()
+
+
+class TestInjectorChannelFaults:
+    def test_jam_window_installed_and_drops_frames(self):
+        plan = FaultPlan(faults=(FaultSpec("jam", 5, 4),))
+        runner = make_runner(duration_s=2.0, plan=plan)
+        runner.run()
+        bp = runner.params.beacon_period_us
+        assert runner.channel.is_jammed(6 * bp)
+        assert not runner.channel.is_jammed(9.5 * bp)
+        assert runner.channel.stats.jammed_drops > 0
+
+    def test_loss_burst_blocks_and_clears(self):
+        plan = FaultPlan(faults=(FaultSpec("loss_burst", 5, 6, magnitude=1.0),))
+        runner = make_runner(duration_s=2.0, plan=plan)
+        runner.run()
+        assert runner.channel.stats.per_drops > 0
+        assert any("loss_burst cleared" in line for line in runner.injector.log)
+        # override removed: a fresh broadcast at per=0 base rate delivers
+        runner.channel.phy = runner.channel.phy.__class__(packet_error_rate=0.0)
+        assert runner.channel.broadcast(0, [1, 2], 1e9, 10) == [1, 2]
+
+    def test_partition_groups_and_heal(self):
+        plan = FaultPlan(faults=(FaultSpec("partition", 6, 5, magnitude=0.5),))
+        runner = make_runner(n=8, duration_s=0.1, plan=plan)
+        injector = runner.injector
+        injector.on_period_start(6)
+        groups = injector.partition_groups(6)
+        assert groups is not None
+        sizes = [list(groups.values()).count(g) for g in (0, 1)]
+        assert sorted(sizes) == [4, 4]
+        assert injector.partition_groups(10) is not None
+        assert injector.partition_groups(11) is None
+
+    def test_partition_heals_during_run(self):
+        plan = FaultPlan(faults=(FaultSpec("partition", 6, 5, magnitude=0.4),))
+        runner = make_runner(duration_s=3.0, plan=plan)
+        result = runner.run()
+        assert any("partition healed" in line for line in runner.injector.log)
+        # one network again at the end: exactly one reference
+        refs = [n for n in result.nodes if n.protocol.is_reference()]
+        assert len(refs) == 1
+
+    def test_unbound_injector_raises(self):
+        injector = FaultInjector(FaultPlan())
+        with pytest.raises(RuntimeError):
+            injector.on_period_start(1)
+
+
+class TestChaosHarness:
+    def test_limits_validation(self):
+        with pytest.raises(ValueError):
+            ChaosLimits(eval_periods=200, tail_periods=100)
+        with pytest.raises(ValueError):
+            ChaosLimits(converged_bound_us=500.0, tail_bound_us=100.0)
+
+    def test_lemma2_loss_bound_value(self):
+        # 2 * 100 ppm * (4 + 2) * 0.1 s = 120 us
+        assert lemma2_loss_bound() == pytest.approx(120.0)
+
+    def test_chaos_soak_reelects_after_reference_crash(self):
+        # Regression: every injected reference crash is followed by a
+        # re-election within the bounded period count, across >= 5
+        # randomized plans, and every other invariant holds too.
+        limits = ChaosLimits()
+        outcomes = run_chaos(5, seed=3, limits=limits)
+        assert len(outcomes) == 5
+        assert all(o.ok for o in outcomes), [o.failures for o in outcomes]
+        total_crashes = sum(o.reference_crashes for o in outcomes)
+        assert total_crashes >= 5
+        for o in outcomes:
+            assert len(o.reelect_delays) == o.reference_crashes
+            assert all(1 <= d <= limits.reelect_within for d in o.reelect_delays)
+
+    def test_chaos_is_deterministic(self):
+        a = outcome_fingerprint(run_plan(1, 11))
+        b = outcome_fingerprint(run_plan(1, 11))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = outcome_fingerprint(run_plan(0, 11))
+        b = outcome_fingerprint(run_plan(0, 12))
+        assert a["plan"] != b["plan"] or a["tail_max_us"] != b["tail_max_us"]
+
+    def test_hardened_config_profile(self):
+        cfg = SstspConfig.hardened()
+        assert cfg.recovery_rejection_threshold is not None
+        assert cfg.coarse_silence_watchdog_periods is not None
+        assert cfg.free_run_clamp_after is not None
+        assert cfg.coarse_min_survivors >= 2
+        assert cfg.election_backoff_cap > 1
+        assert SstspConfig.hardened(election_backoff_cap=2).election_backoff_cap == 2

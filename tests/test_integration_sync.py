@@ -8,7 +8,6 @@ survived; the adjusted clocks never leap.
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis.metrics import audit_no_leaps, sync_latency_us
 from repro.core.config import SstspConfig

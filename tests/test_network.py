@@ -9,7 +9,6 @@ from repro.network.ibss import AttackerSpec, ScenarioSpec, build_network
 from repro.network.node import Node
 from repro.protocols.base import ClockKind, TxIntent
 from repro.protocols.tsf import TsfConfig, TsfProtocol
-from repro.sim.units import S
 
 
 class TestNode:
@@ -92,6 +91,53 @@ class TestChurnSchedule:
         with pytest.raises(ValueError):
             ChurnEvent(1, "explode", (1,))
 
+    def test_long_absence_never_double_books_a_station(self, rng):
+        # away_s > leave_every_s: stations from group k are still away when
+        # group k+1 is sampled and must not be drawn again (a second leave
+        # would be a no-op and its paired return would fire while the first
+        # absence is still active, silently shortening it).
+        schedule = ChurnSchedule.paper_default(
+            node_ids=list(range(40)),
+            total_periods=20_000,
+            rng=rng,
+            leave_every_s=200.0,
+            away_s=450.0,
+        )
+        away_until = {}
+        for period in schedule.periods():
+            for event in schedule.events_for(period):
+                if event.action != "leave" or REFERENCE_MARKER in event.node_ids:
+                    continue
+                for node in event.node_ids:
+                    assert away_until.get(node, 0) <= period, (
+                        f"node {node} re-sampled at p{period} while away"
+                    )
+                    away_until[node] = period + 4500  # 450 s in periods
+
+    def test_overlap_guard_preserves_rng_stream_when_disjoint(self):
+        # With away_s < leave_every_s nobody is still away at the next
+        # sampling, so the eligibility filter must not change the draws:
+        # the schedule must match a plain unfiltered choice() sequence.
+        node_ids = list(range(100))
+        schedule = ChurnSchedule.paper_default(
+            node_ids=node_ids,
+            total_periods=10_000,
+            rng=np.random.default_rng(7),
+        )
+        reference = np.random.default_rng(7)
+        for k in (1, 2, 3, 4):
+            period = k * 2000
+            expected = tuple(
+                int(i)
+                for i in reference.choice(
+                    np.asarray(node_ids), size=5, replace=False
+                )
+            )
+            leaves = [
+                e for e in schedule.events_for(period) if e.action == "leave"
+            ]
+            assert leaves and leaves[0].node_ids == expected
+
 
 class TestRunner:
     def test_tsf_run_produces_full_trace(self):
@@ -133,6 +179,56 @@ class TestRunner:
         runner.churn.add(ChurnEvent(3, "leave", (REFERENCE_MARKER,)))
         result = runner.run()
         assert result.trace.present_counts.min() == 5
+
+    def test_marker_leave_skips_attacker_held_reference(self):
+        # When an attacker squats on the reference role, a marker leave
+        # must not remove it (churn models legitimate stations only) and
+        # must not enqueue a pairing for the later marker return.
+        from repro.core.sstsp import SstspState
+
+        spec = ScenarioSpec(
+            n=5, seed=3, duration_s=1.0,
+            attacker=AttackerSpec(start_s=0.2, end_s=0.5),
+        )
+        runner = build_network("sstsp", spec)
+        attacker = runner.nodes[-1]
+        assert not attacker.include_in_metrics
+        attacker.protocol.state = SstspState.REFERENCE
+        assert runner.current_reference() == attacker.node_id
+        assert runner._resolve_marker(REFERENCE_MARKER, "leave") is None
+        assert runner._marker_left == []
+        # the unpaired marker return is likewise a no-op
+        assert runner._resolve_marker(REFERENCE_MARKER, "return") is None
+
+    def test_marker_return_without_prior_leave_is_noop(self):
+        spec = ScenarioSpec(n=5, seed=3, duration_s=1.0)
+        runner = build_network("sstsp", spec)
+        assert runner._resolve_marker(REFERENCE_MARKER, "return") is None
+
+    def test_overlapping_marker_departures_pair_fifo(self):
+        # Two reference departures before any return: the first return
+        # must bring back the *first* departed reference, the second the
+        # second (FIFO pairing keeps each station's absence contiguous).
+        from repro.core.sstsp import SstspState
+
+        spec = ScenarioSpec(n=5, seed=3, duration_s=1.0)
+        runner = build_network("sstsp", spec)
+
+        def crown(node_id):
+            for node in runner.nodes:
+                node.protocol.state = (
+                    SstspState.REFERENCE
+                    if node.node_id == node_id
+                    else SstspState.SYNCED
+                )
+
+        crown(2)
+        assert runner._resolve_marker(REFERENCE_MARKER, "leave") == 2
+        crown(4)
+        assert runner._resolve_marker(REFERENCE_MARKER, "leave") == 4
+        assert runner._resolve_marker(REFERENCE_MARKER, "return") == 2
+        assert runner._resolve_marker(REFERENCE_MARKER, "return") == 4
+        assert runner._resolve_marker(REFERENCE_MARKER, "return") is None
 
     def test_deterministic_given_seed(self):
         spec = ScenarioSpec(n=8, seed=11, duration_s=3.0)

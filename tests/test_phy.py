@@ -109,3 +109,108 @@ class TestBroadcastChannel:
         assert total.deliveries == 2
         assert total.per_drops == 4
         assert total.bytes_on_air == 56
+
+
+class TestJamWindowIndex:
+    def test_out_of_order_and_overlapping_windows(self, rng):
+        channel = BroadcastChannel(PhyParams(), rng)
+        # inserted out of order, with overlaps and containment
+        channel.add_jam_window(500.0, 600.0)
+        channel.add_jam_window(100.0, 400.0)   # long window first by start
+        channel.add_jam_window(150.0, 200.0)   # contained in the previous
+        channel.add_jam_window(350.0, 550.0)   # bridges two windows
+        for t in (100.0, 150.0, 199.0, 250.0, 399.9, 400.0, 450.0, 599.9):
+            assert channel.is_jammed(t), t
+        for t in (0.0, 99.9, 600.0, 1_000.0):
+            assert not channel.is_jammed(t), t
+
+    def test_query_before_first_window(self, rng):
+        channel = BroadcastChannel(PhyParams(), rng)
+        channel.add_jam_window(100.0, 200.0)
+        assert not channel.is_jammed(50.0)
+
+    def test_many_windows_match_linear_scan(self, rng):
+        channel = BroadcastChannel(PhyParams(), rng)
+        windows = [
+            (float(s), float(s + d))
+            for s, d in zip(
+                rng.integers(0, 10_000, size=200),
+                rng.integers(1, 500, size=200),
+            )
+        ]
+        for start, end in windows:
+            channel.add_jam_window(start, end)
+        for t in rng.uniform(-100, 11_000, size=500):
+            expected = any(s <= t < e for s, e in windows)
+            assert channel.is_jammed(float(t)) == expected, t
+
+
+class TestPerOverride:
+    def test_override_forces_whole_frame_loss(self, rng):
+        channel = BroadcastChannel(PhyParams(packet_error_rate=0.0), rng)
+        channel.set_per_override(1.0)
+        assert channel.broadcast(0, [1, 2, 3], 0.0, 56) == []
+        assert channel.stats.per_drops == 3
+        channel.set_per_override(None)
+        assert channel.broadcast(0, [1, 2, 3], 0.0, 56) == [1, 2, 3]
+
+    def test_override_validation(self, rng):
+        channel = BroadcastChannel(PhyParams(), rng)
+        with pytest.raises(ValueError):
+            channel.set_per_override(1.5)
+        with pytest.raises(ValueError):
+            channel.set_per_override(-0.1)
+
+
+class TestGilbertElliott:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PhyParams(loss_model="gilbert_elliott", ge_per_bad=1.5)
+        with pytest.raises(ValueError):
+            PhyParams(loss_model="gilbert_elliott", ge_p_good_to_bad=-0.1)
+        with pytest.raises(ValueError):
+            PhyParams(loss_model="weibull")
+
+    def test_good_state_uses_base_rate(self, rng):
+        phy = PhyParams(
+            loss_model="gilbert_elliott",
+            packet_error_rate=0.0,
+            ge_p_good_to_bad=0.0,  # never leaves the good state
+        )
+        channel = BroadcastChannel(phy, rng)
+        for _ in range(50):
+            assert channel.broadcast(0, [1, 2], 0.0, 56) == [1, 2]
+
+    def test_bad_state_loses_whole_frames(self, rng):
+        phy = PhyParams(
+            loss_model="gilbert_elliott",
+            packet_error_rate=0.0,
+            ge_p_good_to_bad=1.0,   # enters bad immediately...
+            ge_p_bad_to_good=0.0,   # ...and stays there
+            ge_per_bad=1.0,
+        )
+        channel = BroadcastChannel(phy, rng)
+        for _ in range(10):
+            assert channel.broadcast(0, [1, 2], 0.0, 56) == []
+        assert channel.stats.per_drops == 20
+
+    def test_burstiness_of_losses(self, rng):
+        phy = PhyParams(
+            loss_model="gilbert_elliott",
+            packet_error_rate=0.0,
+            ge_p_good_to_bad=0.05,
+            ge_p_bad_to_good=0.25,
+            ge_per_bad=1.0,
+        )
+        channel = BroadcastChannel(phy, rng)
+        outcomes = [
+            bool(channel.broadcast(0, [1], 0.0, 56)) for _ in range(5_000)
+        ]
+        losses = outcomes.count(False)
+        # stationary bad-state probability = 0.05 / (0.05 + 0.25)
+        assert 0.10 < losses / len(outcomes) < 0.25
+        # losses cluster: the loss-after-loss rate exceeds the marginal rate
+        pairs = sum(
+            1 for a, b in zip(outcomes, outcomes[1:]) if not a and not b
+        )
+        assert pairs / max(losses, 1) > 0.4

@@ -5,7 +5,7 @@ from hypothesis import strategies as st
 
 from repro.crypto.fractal import FractalTraversal
 from repro.crypto.hashchain import DenseHashChain, verify_element
-from repro.crypto.primitives import hash128, hash128_iter
+from repro.crypto.primitives import hash128_iter
 from repro.mac.contention import resolve_contention
 
 seeds = st.binary(min_size=1, max_size=32)

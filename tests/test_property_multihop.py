@@ -1,7 +1,6 @@
 """Property tests for the multi-hop extension's topology and invariants."""
 
 import networkx as nx
-import numpy as np
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
@@ -12,7 +11,6 @@ class TestTopologyProperties:
     @given(n=st.integers(2, 40), seed=st.integers(0, 1000))
     @settings(max_examples=25, deadline=None)
     def test_two_hop_neighbors_contains_one_hop(self, n, seed):
-        rng = np.random.default_rng(seed)
         graph = nx.gnp_random_graph(n, 0.3, seed=seed)
         topology = Topology(graph)
         for node in range(n):

@@ -7,7 +7,6 @@ import pytest
 
 from repro.analysis.metrics import TraceRecorder, SyncTrace
 from repro.analysis.replication import (
-    PairedComparison,
     compare,
     replicate,
     summarize,

@@ -9,7 +9,6 @@ from repro.core.config import SstspConfig
 from repro.core.sstsp import SstspProtocol, SstspState
 from repro.crypto.mutesla import IntervalSchedule
 from repro.network.ibss import ScenarioSpec, build_network
-from repro.network.node import Node
 from repro.protocols.base import ClockKind, RxContext
 from repro.protocols.tsf import TsfConfig
 from repro.security.attacks import (

@@ -1,6 +1,5 @@
 """Unit tests for the outlier filters (threshold and GESD)."""
 
-import numpy as np
 import pytest
 
 from repro.security.outliers import gesd_outliers, robust_offset_average, threshold_filter

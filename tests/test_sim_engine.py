@@ -104,6 +104,16 @@ def test_cannot_schedule_nan():
         sim.schedule(float("nan"), lambda: None)
 
 
+def test_cannot_schedule_infinity():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(float("inf"), lambda: None)
+    with pytest.raises(SimulationError):
+        sim.schedule(float("-inf"), lambda: None)
+    with pytest.raises(SimulationError):
+        sim.schedule_in(float("inf"), lambda: None)
+
+
 def test_negative_delay_rejected():
     sim = Simulator()
     with pytest.raises(SimulationError):

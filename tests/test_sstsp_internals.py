@@ -45,7 +45,7 @@ class TestPaceReset:
         proto.begin_period(2)
         proto.end_period(2, False, True, True)  # wins: becomes reference
         assert proto.state is SstspState.REFERENCE
-        frame = proto.make_frame(hw_time=3 * BP, period=3)
+        proto.make_frame(hw_time=3 * BP, period=3)
         assert abs(proto.clock.k - 1.0) <= 3e-4 + 1e-12
         # continuity preserved at the clamp instant
         assert proto.clock.is_monotonic(BP, 4 * BP)
