@@ -12,14 +12,17 @@ from conftest import paper_rows
 from repro.experiments import table1
 
 
-def _run_table1():
+def _run_table1(sweep):
     return table1.run(
-        m_values=(1, 2, 3, 4, 5), n=60, duration_s=30.0, seed=1, replicas=1
+        m_values=(1, 2, 3, 4, 5), n=60, duration_s=30.0, seed=1, replicas=1,
+        sweep=sweep,
     )
 
 
-def test_table1_m_sweep(benchmark):
-    rows = benchmark.pedantic(_run_table1, rounds=1, iterations=1)
+def test_table1_m_sweep(benchmark, sweep_options):
+    rows = benchmark.pedantic(
+        _run_table1, args=(sweep_options,), rounds=1, iterations=1
+    )
     latencies = [rows[m].latency_s for m in (1, 2, 3, 4, 5)]
     errors = [rows[m].error_us for m in (1, 2, 3, 4, 5)]
     # every m synchronizes from the +-112 us initial offsets

@@ -11,9 +11,27 @@ paper reports. The full-scale reproductions live in
 
 from __future__ import annotations
 
+import os
 import sys
 
 import pytest
+
+from repro.sweep import SweepOptions
+
+
+@pytest.fixture
+def sweep_options() -> SweepOptions:
+    """How bench modules drive the sweep orchestrator.
+
+    Caching stays off — a benchmark that replays pickles measures the
+    cache, not the simulator. ``SSTSP_BENCH_WORKERS`` opts into parallel
+    fan-out (results are identical at any worker count, only the wall
+    clock moves, so the recorded rows stay comparable across machines).
+    """
+    return SweepOptions(
+        workers=int(os.environ.get("SSTSP_BENCH_WORKERS", "1")),
+        cache_dir=None,
+    )
 
 
 def paper_rows(benchmark, name: str, rows) -> None:

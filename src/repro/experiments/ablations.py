@@ -10,12 +10,17 @@ Three sweeps, each isolating one design choice of SSTSP:
   (section 3.3's stated trade-off);
 * **m** - the slewing aggressiveness: convergence latency vs noise
   filtering vs reference-change robustness (Table 1 + Lemma 2 together).
+
+Every sweep runs its points through the orchestrator
+(:mod:`repro.sweep`): each point is a frozen job, so ``--workers`` fans
+them across processes and ``--cache-dir`` memoizes them, with identical
+row values at any worker count.
 """
 
 from __future__ import annotations
 
 import argparse
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 
 from repro.analysis.metrics import sync_latency_us
@@ -27,6 +32,71 @@ from repro.fastlane import run_sstsp_vectorized
 from repro.network.churn import REFERENCE_MARKER, ChurnEvent
 from repro.network.ibss import AttackerSpec, build_network
 from repro.sim.units import S
+from repro.sweep import (
+    JobSpec,
+    SweepOptions,
+    add_sweep_arguments,
+    run_sweep,
+    sweep_options_from_args,
+)
+
+
+def job_guard_point(job: JobSpec) -> Dict[str, float]:
+    """One guard-ablation point: insider drag at ``guard_us``."""
+    p = job.params_dict()
+    guard = p["guard_us"]
+    shave = p["shave_fraction"] * guard
+    spec = quick_spec(
+        p["n"], seed=p["seed"], duration_s=40.0,
+        attacker=AttackerSpec(start_s=10.0, end_s=30.0, shave_per_period_us=shave),
+    )
+    config = SstspConfig(m=4, guard_fine_us=guard)
+    trace = run_sstsp_vectorized(spec, config=config).trace
+    return {
+        "shave": shave,
+        "during_max": float(trace.window(11 * S, 30 * S).max_diff_us.max()),
+        "drag": float(trace.mean_vs_true_us[-1]),
+    }
+
+
+def job_l_point(job: JobSpec) -> Dict[str, float]:
+    """One l-ablation point: spurious elections and departure reaction."""
+    p = job.params_dict()
+    l = p["l"]
+    spec = quick_spec(p["n"], seed=p["seed"], duration_s=40.0)
+    config = SstspConfig(l=l, m=l + 3)
+    result = run_sstsp_vectorized(spec, config=config)
+    # reaction to a real departure, reference lane with a forced leave
+    runner = build_network(
+        "sstsp", quick_spec(20, seed=p["seed"], duration_s=20.0),
+        sstsp_config=SstspConfig(l=l, m=l + 3),
+    )
+    runner.churn.add(ChurnEvent(80, "leave", (REFERENCE_MARKER,)))
+    trace = runner.run().trace
+    gap = trace.window(8.0 * S, 12.0 * S)
+    return {
+        "reference_changes": result.reference_changes,
+        "steady": result.trace.steady_state_error_us(),
+        "departure_transient": float(gap.max_diff_us.max()),
+    }
+
+
+def job_m_point(job: JobSpec) -> Dict[str, float]:
+    """One m-ablation point: latency / steady error / Lemma 2 ratio."""
+    p = job.params_dict()
+    m = p["m"]
+    spec = quick_spec(
+        p["n"], seed=p["seed"], duration_s=30.0,
+        initial_offset_us=TABLE1_INITIAL_OFFSET_US,
+    )
+    config = SstspConfig(m=m)
+    trace = run_sstsp_vectorized(spec, config=config).trace
+    latency = sync_latency_us(trace)
+    return {
+        "latency_s": (latency / S) if latency is not None else float("nan"),
+        "steady": trace.steady_state_error_us(),
+        "lemma2_ratio": reference_change_ratio(m, l=1),
+    }
 
 
 def sweep_guard(
@@ -34,74 +104,51 @@ def sweep_guard(
     shave_fraction: float = 0.15,
     n: int = 40,
     seed: int = 3,
+    sweep: Optional[SweepOptions] = None,
 ) -> Dict[float, Dict[str, float]]:
     """Insider drag vs guard: the attacker shaves ``shave_fraction * guard``
     per BP (safely inside the guard at every setting)."""
-    rows = {}
-    for guard in guards_us:
-        shave = shave_fraction * guard
-        spec = quick_spec(
-            n, seed=seed, duration_s=40.0,
-            attacker=AttackerSpec(start_s=10.0, end_s=30.0, shave_per_period_us=shave),
+    specs = [
+        JobSpec.make(
+            "ablation_guard",
+            {"guard_us": guard, "shave_fraction": shave_fraction,
+             "n": n, "seed": seed},
+            root_seed=seed,
         )
-        config = SstspConfig(m=4, guard_fine_us=guard)
-        trace = run_sstsp_vectorized(spec, config=config).trace
-        rows[guard] = {
-            "shave": shave,
-            "during_max": float(trace.window(11 * S, 30 * S).max_diff_us.max()),
-            "drag": float(trace.mean_vs_true_us[-1]),
-        }
-    return rows
+        for guard in guards_us
+    ]
+    values = run_sweep("ablation-guard", specs, sweep).values
+    return dict(zip(guards_us, values))
 
 
 def sweep_l(
     l_values: Sequence[int] = (1, 2, 4),
     n: int = 60,
     seed: int = 2,
+    sweep: Optional[SweepOptions] = None,
 ) -> Dict[int, Dict[str, float]]:
     """Reference-loss patience: spurious elections and reaction time."""
-    rows = {}
-    for l in l_values:
-        spec = quick_spec(n, seed=seed, duration_s=40.0)
-        config = SstspConfig(l=l, m=l + 3)
-        result = run_sstsp_vectorized(spec, config=config)
-        # reaction to a real departure, reference lane with a forced leave
-        runner = build_network(
-            "sstsp", quick_spec(20, seed=seed, duration_s=20.0),
-            sstsp_config=SstspConfig(l=l, m=l + 3),
-        )
-        runner.churn.add(ChurnEvent(80, "leave", (REFERENCE_MARKER,)))
-        trace = runner.run().trace
-        gap = trace.window(8.0 * S, 12.0 * S)
-        rows[l] = {
-            "reference_changes": result.reference_changes,
-            "steady": result.trace.steady_state_error_us(),
-            "departure_transient": float(gap.max_diff_us.max()),
-        }
-    return rows
+    specs = [
+        JobSpec.make("ablation_l", {"l": l, "n": n, "seed": seed}, root_seed=seed)
+        for l in l_values
+    ]
+    values = run_sweep("ablation-l", specs, sweep).values
+    return dict(zip(l_values, values))
 
 
 def sweep_m(
     m_values: Sequence[int] = (1, 2, 3, 4, 6),
     n: int = 60,
     seed: int = 1,
+    sweep: Optional[SweepOptions] = None,
 ) -> Dict[int, Dict[str, float]]:
     """Aggressiveness: latency / steady error / Lemma 2 ratio."""
-    rows = {}
-    for m in m_values:
-        spec = quick_spec(
-            n, seed=seed, duration_s=30.0,
-            initial_offset_us=TABLE1_INITIAL_OFFSET_US,
-        )
-        config = SstspConfig(m=m)
-        trace = run_sstsp_vectorized(spec, config=config).trace
-        latency = sync_latency_us(trace)
-        rows[m] = {
-            "latency_s": (latency / S) if latency is not None else float("nan"),
-            "steady": trace.steady_state_error_us(),
-            "lemma2_ratio": reference_change_ratio(m, l=1),
-        }
-    return rows
+    specs = [
+        JobSpec.make("ablation_m", {"m": m, "n": n, "seed": seed}, root_seed=seed)
+        for m in m_values
+    ]
+    values = run_sweep("ablation-m", specs, sweep).values
+    return dict(zip(m_values, values))
 
 
 def main(argv=None) -> None:
@@ -109,11 +156,13 @@ def main(argv=None) -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="fewer points")
     parser.add_argument("--seed", type=int, default=3)
+    add_sweep_arguments(parser)
     args = parser.parse_args(argv)
+    sweep = sweep_options_from_args(args)
 
     guards = (300.0, 600.0) if args.quick else (150.0, 300.0, 600.0, 1_200.0)
     print("=== Ablation: guard time vs insider drag ===")
-    rows = sweep_guard(guards_us=guards, seed=args.seed)
+    rows = sweep_guard(guards_us=guards, seed=args.seed, sweep=sweep)
     print(
         format_table(
             ["guard (us)", "shave (us/BP)", "max diff during (us)", "drag (us)"],
@@ -129,7 +178,7 @@ def main(argv=None) -> None:
 
     print("=== Ablation: l (reference-loss patience) ===")
     l_values = (1, 4) if args.quick else (1, 2, 4)
-    rows = sweep_l(l_values=l_values, seed=args.seed)
+    rows = sweep_l(l_values=l_values, seed=args.seed, sweep=sweep)
     print(
         format_table(
             ["l", "ref changes (no-loss run)", "steady (us)",
@@ -146,7 +195,7 @@ def main(argv=None) -> None:
 
     print("=== Ablation: m (slewing aggressiveness) ===")
     m_values = (1, 4) if args.quick else (1, 2, 3, 4, 6)
-    rows = sweep_m(m_values=m_values, seed=args.seed)
+    rows = sweep_m(m_values=m_values, seed=args.seed, sweep=sweep)
     print(
         format_table(
             ["m", "latency (s)", "steady (us)", "Lemma 2 ratio (l=1)"],

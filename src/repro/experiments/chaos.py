@@ -46,6 +46,13 @@ from repro.faults import FaultInjector, FaultPlan, random_plan
 from repro.network.ibss import ScenarioSpec, build_sstsp_network
 from repro.network.runner import NetworkRunner
 from repro.sim.units import S
+from repro.sweep import (
+    JobSpec,
+    SweepOptions,
+    add_sweep_arguments,
+    run_sweep,
+    sweep_options_from_args,
+)
 
 
 #: Consecutive lost beacons the tail error bound absorbs: the chaos
@@ -266,18 +273,56 @@ def run_plan(
     return outcome
 
 
+def job_chaos_plan(job: "JobSpec") -> PlanOutcome:
+    """Sweep job: one randomized plan soak (pure function of the spec)."""
+    p = job.params_dict()
+    limits = ChaosLimits(
+        tail_periods=p["tail_periods"],
+        eval_periods=p["eval_periods"],
+        tail_bound_us=p["tail_bound_us"],
+        converged_bound_us=p["converged_bound_us"],
+        reelect_within=p["reelect_within"],
+    )
+    return run_plan(
+        p["index"], p["master_seed"], n=p["n"], periods=p["periods"],
+        limits=limits,
+    )
+
+
 def run_chaos(
     plans: int,
     seed: int,
     n: int = 12,
     periods: int = 300,
     limits: Optional[ChaosLimits] = None,
+    sweep: Optional["SweepOptions"] = None,
 ) -> List[PlanOutcome]:
-    """Run ``plans`` independent randomized soaks derived from ``seed``."""
-    return [
-        run_plan(i, seed, n=n, periods=periods, limits=limits)
+    """Run ``plans`` independent randomized soaks derived from ``seed``.
+
+    Plans are independent jobs, so the soak parallelises through the
+    sweep orchestrator (``sweep`` controls workers/caching) with
+    per-plan outcomes identical to the serial run.
+    """
+    limits = limits or ChaosLimits()
+    specs = [
+        JobSpec.make(
+            "chaos_plan",
+            {
+                "index": i,
+                "master_seed": seed,
+                "n": n,
+                "periods": periods,
+                "tail_periods": limits.tail_periods,
+                "eval_periods": limits.eval_periods,
+                "tail_bound_us": limits.tail_bound_us,
+                "converged_bound_us": limits.converged_bound_us,
+                "reelect_within": limits.reelect_within,
+            },
+            root_seed=seed,
+        )
         for i in range(plans)
     ]
+    return run_sweep("chaos", specs, sweep).values
 
 
 def outcome_fingerprint(outcome: PlanOutcome) -> Dict:
@@ -322,6 +367,7 @@ def main(argv=None) -> None:
         default=40,
         help="re-election bound after a reference crash (periods)",
     )
+    add_sweep_arguments(parser)
     args = parser.parse_args(argv)
     limits = ChaosLimits(
         tail_bound_us=args.bound_us,
@@ -330,7 +376,8 @@ def main(argv=None) -> None:
     )
 
     outcomes = run_chaos(
-        args.plans, args.seed, n=args.nodes, periods=args.periods, limits=limits
+        args.plans, args.seed, n=args.nodes, periods=args.periods, limits=limits,
+        sweep=sweep_options_from_args(args),
     )
     rows = []
     for o in outcomes:
@@ -369,6 +416,10 @@ def main(argv=None) -> None:
         "injected"
     )
     if failed:
+        print("\nviolated invariants:")
+        for o in failed:
+            for failure in o.failures:
+                print(f"  plan {o.index}: {failure}")
         raise SystemExit(1)
 
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import argparse
 from dataclasses import dataclass
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.analysis.metrics import INDUSTRY_THRESHOLD_US, SyncTrace
 from repro.experiments.report import (
@@ -21,8 +21,13 @@ from repro.experiments.report import (
     save_trace_csv,
     trace_chart,
 )
-from repro.experiments.scenarios import paper_spec, quick_spec
-from repro.fastlane import run_tsf_vectorized
+from repro.sweep import (
+    JobSpec,
+    SweepOptions,
+    add_sweep_arguments,
+    run_sweep,
+    sweep_options_from_args,
+)
 
 
 @dataclass
@@ -50,25 +55,33 @@ def run(
     quick: bool = False,
     seed: int = 1,
     lane: str = "vec",
+    sweep: Optional[SweepOptions] = None,
 ) -> Fig1Result:
     """Reproduce Fig. 1 for the given network sizes.
 
     ``lane`` selects the engine: ``"vec"`` (default, fast) or ``"oo"``
     (the object-oriented reference implementation - slower, use with
-    ``quick=True`` at these sizes).
+    ``quick=True`` at these sizes). The per-N runs execute through the
+    sweep orchestrator (``sweep`` controls workers/caching).
     """
-    traces = {}
-    for n in n_values:
-        spec = quick_spec(n, seed=seed) if quick else paper_spec(n, seed=seed)
-        if lane == "oo":
-            from repro.network.ibss import build_network
-
-            traces[n] = build_network("tsf", spec).run().trace
-        elif lane == "vec":
-            traces[n] = run_tsf_vectorized(spec).trace
-        else:
-            raise ValueError(f"unknown lane {lane!r}")
-    return Fig1Result(traces)
+    specs = [
+        JobSpec.make(
+            "scenario_trace",
+            {
+                "protocol": "tsf",
+                "lane": lane,
+                "scenario": "quick" if quick else "paper",
+                "n": n,
+                "seed": seed,
+            },
+            root_seed=seed,
+        )
+        for n in n_values
+    ]
+    payloads = run_sweep("fig1", specs, sweep).values
+    return Fig1Result(
+        {n: payload["trace"] for n, payload in zip(n_values, payloads)}
+    )
 
 
 def main(argv=None) -> None:
@@ -79,10 +92,12 @@ def main(argv=None) -> None:
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--lane", choices=("vec", "oo"), default="vec",
                         help="engine: vectorised (fast) or reference OO lane")
+    add_sweep_arguments(parser)
     args = parser.parse_args(argv)
 
     result = run(
-        tuple(args.nodes), quick=args.quick, seed=args.seed, lane=args.lane
+        tuple(args.nodes), quick=args.quick, seed=args.seed, lane=args.lane,
+        sweep=sweep_options_from_args(args),
     )
     print("=== Figure 1: TSF maximum clock difference ===")
     for n, trace in sorted(result.traces.items()):

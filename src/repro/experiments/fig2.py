@@ -11,17 +11,22 @@ from __future__ import annotations
 
 import argparse
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.analysis.metrics import SyncTrace
-from repro.core.config import SstspConfig
 from repro.experiments.report import (
     downsample_rows,
     format_table,
     save_trace_csv,
     trace_chart,
 )
-from repro.experiments.scenarios import paper_spec, quick_spec
-from repro.fastlane import run_sstsp_vectorized
+from repro.sweep import (
+    JobSpec,
+    SweepOptions,
+    add_sweep_arguments,
+    run_sweep,
+    sweep_options_from_args,
+)
 
 
 @dataclass
@@ -39,32 +44,33 @@ class Fig2Result:
 def run(
     n: int = 500, m: int = 4, quick: bool = False, seed: int = 1,
     lane: str = "vec",
+    sweep: Optional[SweepOptions] = None,
 ) -> Fig2Result:
     """Reproduce Fig. 2.
 
     ``lane`` selects the engine: ``"vec"`` (default, fast) or ``"oo"``
     (the reference implementation - slower; pair with ``quick`` and a
-    smaller ``n`` for cross-checking).
+    smaller ``n`` for cross-checking). The run executes through the sweep
+    orchestrator, so a cached rerun returns instantly.
     """
-    spec = quick_spec(n, seed=seed) if quick else paper_spec(n, seed=seed)
-    config = SstspConfig(
-        beacon_period_us=spec.beacon_period_us,
-        slot_time_us=spec.phy.slot_time_us,
-        m=m,
-        rx_latency_us=7 * spec.phy.slot_time_us + spec.phy.propagation_delay_us,
-    )
-    if lane == "oo":
-        from repro.network.ibss import build_network
-
-        run_result = build_network("sstsp", spec, sstsp_config=config).run()
-        return Fig2Result(
-            trace=run_result.trace,
-            reference_changes=run_result.trace.reference_changes(),
-        )
-    if lane != "vec":
+    if lane not in ("vec", "oo"):
         raise ValueError(f"unknown lane {lane!r}")
-    result = run_sstsp_vectorized(spec, config=config)
-    return Fig2Result(trace=result.trace, reference_changes=result.reference_changes)
+    spec = JobSpec.make(
+        "scenario_trace",
+        {
+            "protocol": "sstsp",
+            "lane": lane,
+            "scenario": "quick" if quick else "paper",
+            "n": n,
+            "m": m,
+            "seed": seed,
+        },
+        root_seed=seed,
+    )
+    payload = run_sweep("fig2", [spec], sweep).values[0]
+    return Fig2Result(
+        trace=payload["trace"], reference_changes=payload["reference_changes"]
+    )
 
 
 def main(argv=None) -> None:
@@ -76,11 +82,12 @@ def main(argv=None) -> None:
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--lane", choices=("vec", "oo"), default="vec",
                         help="engine: vectorised (fast) or reference OO lane")
+    add_sweep_arguments(parser)
     args = parser.parse_args(argv)
 
     result = run(
         n=args.nodes, m=args.m, quick=args.quick, seed=args.seed,
-        lane=args.lane,
+        lane=args.lane, sweep=sweep_options_from_args(args),
     )
     trace = result.trace
     path = save_trace_csv(trace, f"fig2_sstsp_n{args.nodes}_m{args.m}")

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import argparse
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.analysis.metrics import SyncTrace
 from repro.experiments.report import (
@@ -20,10 +21,15 @@ from repro.experiments.report import (
     save_trace_csv,
     trace_chart,
 )
-from repro.experiments.scenarios import PAPER_ATTACK, paper_spec, quick_spec
-from repro.fastlane import run_tsf_vectorized
-from repro.network.ibss import AttackerSpec
+from repro.experiments.scenarios import PAPER_ATTACK
 from repro.sim.units import S
+from repro.sweep import (
+    JobSpec,
+    SweepOptions,
+    add_sweep_arguments,
+    run_sweep,
+    sweep_options_from_args,
+)
 
 
 @dataclass
@@ -48,16 +54,30 @@ class Fig3Result:
         }
 
 
-def run(n: int = 100, quick: bool = False, seed: int = 1) -> Fig3Result:
-    """Reproduce Fig. 3."""
+def run(
+    n: int = 100, quick: bool = False, seed: int = 1,
+    sweep: Optional[SweepOptions] = None,
+) -> Fig3Result:
+    """Reproduce Fig. 3 (through the sweep orchestrator)."""
     if quick:
-        attacker = AttackerSpec(start_s=20.0, end_s=40.0)
-        spec = quick_spec(n, seed=seed, duration_s=60.0, attacker=attacker)
+        start_s, end_s = 20.0, 40.0
     else:
-        attacker = PAPER_ATTACK
-        spec = paper_spec(n, seed=seed, attacker=attacker)
-    trace = run_tsf_vectorized(spec).trace
-    return Fig3Result(trace, attacker.start_s, attacker.end_s)
+        start_s, end_s = PAPER_ATTACK.start_s, PAPER_ATTACK.end_s
+    spec = JobSpec.make(
+        "scenario_trace",
+        {
+            "protocol": "tsf",
+            "scenario": "quick" if quick else "paper",
+            "n": n,
+            "seed": seed,
+            "duration_s": 60.0 if quick else None,
+            "attack_start_s": start_s,
+            "attack_end_s": end_s,
+        },
+        root_seed=seed,
+    )
+    payload = run_sweep("fig3", [spec], sweep).values[0]
+    return Fig3Result(payload["trace"], start_s, end_s)
 
 
 def main(argv=None) -> None:
@@ -66,9 +86,13 @@ def main(argv=None) -> None:
     parser.add_argument("--quick", action="store_true")
     parser.add_argument("--nodes", type=int, default=100)
     parser.add_argument("--seed", type=int, default=1)
+    add_sweep_arguments(parser)
     args = parser.parse_args(argv)
 
-    result = run(n=args.nodes, quick=args.quick, seed=args.seed)
+    result = run(
+        n=args.nodes, quick=args.quick, seed=args.seed,
+        sweep=sweep_options_from_args(args),
+    )
     trace = result.trace
     path = save_trace_csv(trace, f"fig3_tsf_attack_n{args.nodes}")
     print(f"=== Figure 3: TSF under attack ({args.nodes} nodes) ===")

@@ -15,19 +15,24 @@ from __future__ import annotations
 
 import argparse
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.analysis.metrics import SyncTrace
-from repro.core.config import SstspConfig
 from repro.experiments.report import (
     downsample_rows,
     format_table,
     save_trace_csv,
     trace_chart,
 )
-from repro.experiments.scenarios import PAPER_ATTACK, paper_spec, quick_spec
-from repro.fastlane import run_sstsp_vectorized
-from repro.network.ibss import AttackerSpec
+from repro.experiments.scenarios import PAPER_ATTACK
 from repro.sim.units import S
+from repro.sweep import (
+    JobSpec,
+    SweepOptions,
+    add_sweep_arguments,
+    run_sweep,
+    sweep_options_from_args,
+)
 
 
 @dataclass
@@ -57,27 +62,31 @@ class Fig4Result:
 
 
 def run(
-    n: int = 500, m: int = 4, quick: bool = False, seed: int = 1
+    n: int = 500, m: int = 4, quick: bool = False, seed: int = 1,
+    sweep: Optional[SweepOptions] = None,
 ) -> Fig4Result:
-    """Reproduce Fig. 4."""
+    """Reproduce Fig. 4 (through the sweep orchestrator)."""
     if quick:
-        attacker = AttackerSpec(start_s=20.0, end_s=40.0, shave_per_period_us=40.0)
-        spec = quick_spec(n, seed=seed, duration_s=60.0, attacker=attacker)
+        start_s, end_s = 20.0, 40.0
     else:
-        attacker = AttackerSpec(
-            start_s=PAPER_ATTACK.start_s,
-            end_s=PAPER_ATTACK.end_s,
-            shave_per_period_us=40.0,
-        )
-        spec = paper_spec(n, seed=seed, attacker=attacker)
-    config = SstspConfig(
-        beacon_period_us=spec.beacon_period_us,
-        slot_time_us=spec.phy.slot_time_us,
-        m=m,
-        rx_latency_us=7 * spec.phy.slot_time_us + spec.phy.propagation_delay_us,
+        start_s, end_s = PAPER_ATTACK.start_s, PAPER_ATTACK.end_s
+    spec = JobSpec.make(
+        "scenario_trace",
+        {
+            "protocol": "sstsp",
+            "scenario": "quick" if quick else "paper",
+            "n": n,
+            "m": m,
+            "seed": seed,
+            "duration_s": 60.0 if quick else None,
+            "attack_start_s": start_s,
+            "attack_end_s": end_s,
+            "attack_shave_us": 40.0,
+        },
+        root_seed=seed,
     )
-    trace = run_sstsp_vectorized(spec, config=config).trace
-    return Fig4Result(trace, attacker.start_s, attacker.end_s)
+    payload = run_sweep("fig4", [spec], sweep).values[0]
+    return Fig4Result(payload["trace"], start_s, end_s)
 
 
 def main(argv=None) -> None:
@@ -87,9 +96,13 @@ def main(argv=None) -> None:
     parser.add_argument("--nodes", type=int, default=500)
     parser.add_argument("-m", type=int, default=4, dest="m")
     parser.add_argument("--seed", type=int, default=1)
+    add_sweep_arguments(parser)
     args = parser.parse_args(argv)
 
-    result = run(n=args.nodes, m=args.m, quick=args.quick, seed=args.seed)
+    result = run(
+        n=args.nodes, m=args.m, quick=args.quick, seed=args.seed,
+        sweep=sweep_options_from_args(args),
+    )
     trace = result.trace
     path = save_trace_csv(trace, f"fig4_sstsp_attack_n{args.nodes}")
     print(f"=== Figure 4: SSTSP under attack ({args.nodes} nodes, m={args.m}) ===")

@@ -1,0 +1,126 @@
+"""Sweep job functions shared by the figure/table experiments.
+
+Each function is module-level (worker processes re-import it by dotted
+path, see :mod:`repro.sweep.jobs`), takes one frozen
+:class:`~repro.sweep.spec.JobSpec` and returns a picklable payload. All
+simulation randomness comes from the seed recorded *in the spec*, so a
+job's result is a pure function of its spec — the property the result
+cache and the parallel/serial byte-identity guarantee both rest on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.analysis.metrics import INDUSTRY_THRESHOLD_US, sync_latency_us
+from repro.core.config import SstspConfig
+from repro.experiments.scenarios import paper_spec, quick_spec
+from repro.network.ibss import AttackerSpec, ScenarioSpec
+from repro.phy.params import SSTSP_BEACON_AIRTIME_SLOTS
+from repro.sweep.spec import JobSpec
+
+
+def _scenario_from_params(params: Dict[str, Any]) -> ScenarioSpec:
+    """Rebuild the ScenarioSpec a job describes."""
+    attacker: Optional[AttackerSpec] = None
+    if params.get("attack_start_s") is not None:
+        kwargs: Dict[str, Any] = {
+            "start_s": params["attack_start_s"],
+            "end_s": params["attack_end_s"],
+        }
+        if params.get("attack_shave_us") is not None:
+            kwargs["shave_per_period_us"] = params["attack_shave_us"]
+        attacker = AttackerSpec(**kwargs)
+    builder = paper_spec if params.get("scenario", "paper") == "paper" else quick_spec
+    kwargs = {
+        "n": params["n"],
+        "seed": params["seed"],
+        "attacker": attacker,
+        "initial_offset_us": params.get("initial_offset_us", 0.0),
+    }
+    if params.get("duration_s") is not None:
+        kwargs["duration_s"] = params["duration_s"]
+    return builder(**kwargs)
+
+
+def sstsp_config_for(spec: ScenarioSpec, m: int) -> SstspConfig:
+    """The SSTSP config the paper experiments run: 7-slot beacons at the
+    scenario's PHY timing, aggressiveness ``m``."""
+    return SstspConfig(
+        beacon_period_us=spec.beacon_period_us,
+        slot_time_us=spec.phy.slot_time_us,
+        m=m,
+        rx_latency_us=(
+            SSTSP_BEACON_AIRTIME_SLOTS * spec.phy.slot_time_us
+            + spec.phy.propagation_delay_us
+        ),
+    )
+
+
+def run_scenario_trace(job: JobSpec) -> Dict[str, Any]:
+    """One protocol scenario → its trace payload (fig1–fig4 unit of work).
+
+    Params: ``protocol`` (tsf|sstsp), ``lane`` (vec|oo), ``scenario``
+    (paper|quick), ``n``, ``seed``, optional ``duration_s``, ``m``,
+    ``initial_offset_us`` and attacker knobs (``attack_start_s``,
+    ``attack_end_s``, ``attack_shave_us``).
+    """
+    params = job.params_dict()
+    protocol = params["protocol"]
+    lane = params.get("lane", "vec")
+    spec = _scenario_from_params(params)
+    if protocol == "sstsp":
+        config = sstsp_config_for(spec, params.get("m", 4))
+        if lane == "oo":
+            from repro.network.ibss import build_network
+
+            result = build_network("sstsp", spec, sstsp_config=config).run()
+            return {
+                "trace": result.trace,
+                "reference_changes": result.trace.reference_changes(),
+            }
+        if lane != "vec":
+            raise ValueError(f"unknown lane {lane!r}")
+        from repro.fastlane import run_sstsp_vectorized
+
+        result = run_sstsp_vectorized(spec, config=config)
+        return {
+            "trace": result.trace,
+            "reference_changes": result.reference_changes,
+        }
+    if protocol != "tsf":
+        raise ValueError(f"unknown protocol {protocol!r}")
+    if lane == "oo":
+        from repro.network.ibss import build_network
+
+        result = build_network("tsf", spec).run()
+        return {"trace": result.trace, "reference_changes": None}
+    if lane != "vec":
+        raise ValueError(f"unknown lane {lane!r}")
+    from repro.fastlane import run_tsf_vectorized
+
+    return {"trace": run_tsf_vectorized(spec).trace, "reference_changes": None}
+
+
+def run_table1_cell(job: JobSpec) -> Dict[str, Optional[float]]:
+    """One (m, replica) Table 1 cell: latency to threshold + tail error.
+
+    Params: ``m``, ``n``, ``seed`` (already replica-offset), ``duration_s``,
+    ``initial_offset_us``.
+    """
+    from repro.fastlane import run_sstsp_vectorized
+
+    params = job.params_dict()
+    spec = quick_spec(
+        params["n"],
+        seed=params["seed"],
+        duration_s=params["duration_s"],
+        initial_offset_us=params["initial_offset_us"],
+    )
+    config = sstsp_config_for(spec, params["m"])
+    trace = run_sstsp_vectorized(spec, config=config).trace
+    latency = sync_latency_us(trace, INDUSTRY_THRESHOLD_US)
+    return {
+        "latency_us": latency,
+        "error_us": trace.steady_state_error_us(),
+    }

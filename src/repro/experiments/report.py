@@ -17,14 +17,21 @@ import numpy as np
 from repro.analysis.metrics import SyncTrace
 from repro.sim.units import S
 
-#: Default output directory for CSV series.
-RESULTS_DIR = os.environ.get("SSTSP_RESULTS_DIR", "results")
+#: Default output directory for CSV series when ``SSTSP_RESULTS_DIR``
+#: is unset.
+RESULTS_DIR = "results"
 
 
 def ensure_results_dir() -> str:
-    """Create (if needed) and return the CSV output directory."""
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    return RESULTS_DIR
+    """Create (if needed) and return the CSV output directory.
+
+    ``SSTSP_RESULTS_DIR`` is resolved at call time, not import time, so
+    tests and one-off runs can redirect output without reloading the
+    module.
+    """
+    root = os.environ.get("SSTSP_RESULTS_DIR", RESULTS_DIR)
+    os.makedirs(root, exist_ok=True)
+    return root
 
 
 def save_trace_csv(trace: SyncTrace, name: str) -> str:

@@ -18,20 +18,32 @@ adjusted clock chases each estimate), while large m filters noise at the
 cost of latency; m = 2-3 is the sweet spot. Latency is measured to the
 industry threshold (max difference < 25 us, sustained); error is the
 stabilised maximum clock difference.
+
+The m x replica grid runs through the sweep orchestrator
+(:mod:`repro.sweep`): ``--workers N`` fans the cells across processes,
+``--cache-dir``/``--no-cache`` control result caching, and the reported
+rows (and the ``results/table1.csv`` bytes) are identical at any worker
+count.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
-from repro.analysis.metrics import INDUSTRY_THRESHOLD_US, sync_latency_us
-from repro.core.config import SstspConfig
-from repro.experiments.report import format_table
-from repro.experiments.scenarios import TABLE1_INITIAL_OFFSET_US, quick_spec
-from repro.fastlane import run_sstsp_vectorized
+from repro.experiments.report import ensure_results_dir, format_table
+from repro.experiments.scenarios import TABLE1_INITIAL_OFFSET_US
 from repro.sim.units import S
+from repro.sweep import (
+    JobSpec,
+    SweepOptions,
+    add_sweep_arguments,
+    expand_grid,
+    run_sweep,
+    sweep_options_from_args,
+)
 
 #: Rows the paper reports, for side-by-side printing.
 PAPER_ROWS = {1: (0.1, 12.0), 2: (0.4, 7.0), 3: (0.6, 6.0), 4: (0.8, 6.0), 5: (1.1, 6.0)}
@@ -44,37 +56,53 @@ class Table1Row:
     error_us: float
 
 
+def cell_specs(
+    m_values: Sequence[int],
+    n: int,
+    duration_s: float,
+    seed: int,
+    replicas: int,
+) -> list:
+    """The frozen job specs of the m x replica grid (m outer, replica
+    inner — the original serial loop order)."""
+    specs = []
+    for point in expand_grid({"m": list(m_values), "replica": list(range(replicas))}):
+        specs.append(
+            JobSpec.make(
+                "table1_cell",
+                {
+                    "m": point["m"],
+                    "n": n,
+                    "seed": seed + 1000 * point["replica"],
+                    "duration_s": duration_s,
+                    "initial_offset_us": TABLE1_INITIAL_OFFSET_US,
+                },
+                root_seed=seed,
+            )
+        )
+    return specs
+
+
 def run(
     m_values: Sequence[int] = (1, 2, 3, 4, 5),
     n: int = 100,
     duration_s: float = 60.0,
     seed: int = 1,
     replicas: int = 3,
+    sweep: Optional[SweepOptions] = None,
 ) -> Dict[int, Table1Row]:
     """Sweep m per the Table 1 setup; latency/error averaged over replicas."""
+    specs = cell_specs(m_values, n, duration_s, seed, replicas)
+    cells = run_sweep("table1", specs, sweep).values
     rows: Dict[int, Table1Row] = {}
-    for m in m_values:
+    for i, m in enumerate(m_values):
         latencies = []
         errors = []
         for replica in range(replicas):
-            spec = quick_spec(
-                n,
-                seed=seed + 1000 * replica,
-                duration_s=duration_s,
-                initial_offset_us=TABLE1_INITIAL_OFFSET_US,
-            )
-            config = SstspConfig(
-                beacon_period_us=spec.beacon_period_us,
-                slot_time_us=spec.phy.slot_time_us,
-                m=m,
-                rx_latency_us=7 * spec.phy.slot_time_us
-                + spec.phy.propagation_delay_us,
-            )
-            trace = run_sstsp_vectorized(spec, config=config).trace
-            latency = sync_latency_us(trace, INDUSTRY_THRESHOLD_US)
-            if latency is not None:
-                latencies.append(latency / S)
-            errors.append(trace.steady_state_error_us())
+            cell = cells[i * replicas + replica]
+            if cell["latency_us"] is not None:
+                latencies.append(cell["latency_us"] / S)
+            errors.append(cell["error_us"])
         rows[m] = Table1Row(
             m=m,
             latency_s=sum(latencies) / len(latencies) if latencies else None,
@@ -83,17 +111,63 @@ def run(
     return rows
 
 
+def save_rows_csv(rows: Dict[int, Table1Row], name: str = "table1") -> str:
+    """Write the measured rows as CSV; ``repr`` floats keep the bytes a
+    pure function of the values (the parallel-determinism contract)."""
+    path = os.path.join(ensure_results_dir(), f"{name}.csv")
+    lines = ["m,latency_s,error_us"]
+    for m, row in sorted(rows.items()):
+        latency = "" if row.latency_s is None else repr(row.latency_s)
+        lines.append(f"{m},{latency},{row.error_us!r}")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("\n".join(lines) + "\n")
+    return path
+
+
+def _parse_m_values(text: str) -> Sequence[int]:
+    try:
+        values = tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad m list {text!r}") from None
+    if not values:
+        raise argparse.ArgumentTypeError("need at least one m value")
+    return values
+
+
 def main(argv=None) -> None:
     """CLI entry point; prints the reproduced rows/series."""
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="single replica")
     parser.add_argument("--nodes", type=int, default=100)
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "-m", "--m-values", type=_parse_m_values, default=(1, 2, 3, 4, 5),
+        dest="m_values", metavar="M1,M2,...",
+        help="comma-separated m values to sweep (default 1,2,3,4,5)",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=60.0, metavar="S",
+        help="scenario duration per cell in seconds",
+    )
+    parser.add_argument(
+        "--replicas", type=int, default=None,
+        help="replicas per m (default 3, or 1 with --quick)",
+    )
+    add_sweep_arguments(parser)
     args = parser.parse_args(argv)
+    replicas = args.replicas
+    if replicas is None:
+        replicas = 1 if args.quick else 3
 
     rows = run(
-        n=args.nodes, seed=args.seed, replicas=1 if args.quick else 3
+        m_values=args.m_values,
+        n=args.nodes,
+        duration_s=args.duration,
+        seed=args.seed,
+        replicas=replicas,
+        sweep=sweep_options_from_args(args),
     )
+    csv_path = save_rows_csv(rows)
     print("=== Table 1: maximum clock difference & synchronization latency vs m ===")
     print()
     table_rows = []
@@ -116,6 +190,7 @@ def main(argv=None) -> None:
         )
     )
     print()
+    print(f"rows written to {csv_path}")
     print("shape checks: latency increases with m; error improves from m=1 "
           "and flattens by m=3 (paper: m = 2 or 3 is the best trade-off)")
 

@@ -1,0 +1,55 @@
+"""Parallel sweep orchestration with content-addressed result caching.
+
+Every experiment in :mod:`repro.experiments` is an ``axes x seeds`` grid
+of *independent* simulation runs. This package turns such a grid into a
+list of frozen, content-addressable :class:`~repro.sweep.spec.JobSpec`\\ s
+and executes them:
+
+* :mod:`repro.sweep.grid` — declarative grid expansion (cartesian
+  product, deterministic order);
+* :mod:`repro.sweep.spec` — the frozen job spec, its stable ``job_key``,
+  the spec hash, and the scheduling-independent per-job seed derivation
+  ``seed = hash(root_seed, job_key)``;
+* :mod:`repro.sweep.cache` — an on-disk content-addressed result cache
+  keyed by ``hash(job_key + code-version salt)``;
+* :mod:`repro.sweep.jobs` — the registry mapping job kinds to the
+  module-level functions that execute them (importable by worker
+  processes);
+* :mod:`repro.sweep.orchestrator` — the executor: a
+  ``ProcessPoolExecutor`` fan-out for ``workers > 1`` with the plain
+  serial loop as the ``workers == 1`` degenerate case, plus progress/ETA
+  on stderr and a machine-readable JSONL run log.
+
+Results are returned in *spec order* regardless of worker scheduling and
+every job re-seeds from its own spec, so the same grid produces
+byte-identical outputs at any worker count — ``tests/test_sweep.py``
+asserts exactly that.
+"""
+
+from repro.sweep.cache import CACHE_SALT, ResultCache
+from repro.sweep.grid import expand_grid
+from repro.sweep.jobs import register_job, resolve_job
+from repro.sweep.orchestrator import (
+    SweepOptions,
+    SweepResult,
+    add_sweep_arguments,
+    run_sweep,
+    sweep_options_from_args,
+)
+from repro.sweep.spec import JobSpec, canonical_json, derive_seed
+
+__all__ = [
+    "CACHE_SALT",
+    "JobSpec",
+    "ResultCache",
+    "SweepOptions",
+    "SweepResult",
+    "add_sweep_arguments",
+    "canonical_json",
+    "derive_seed",
+    "expand_grid",
+    "register_job",
+    "resolve_job",
+    "run_sweep",
+    "sweep_options_from_args",
+]

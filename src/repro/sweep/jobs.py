@@ -1,0 +1,70 @@
+"""The job-kind registry.
+
+Kinds map to ``"module.path:function"`` strings resolved lazily with
+:mod:`importlib` — *inside the worker process*, at execution time. Two
+things fall out of keeping the table string-valued:
+
+* no import cycles: experiment modules import the orchestrator while
+  their job functions are referenced here by name only;
+* worker-friendliness: a :class:`~repro.sweep.spec.JobSpec` is pure data,
+  so submitting one to a ``ProcessPoolExecutor`` never tries to pickle a
+  closure or a bound method — the worker re-imports the function from the
+  path recorded here.
+
+A job function takes the spec and returns a picklable result:
+``def job(spec: JobSpec) -> Any``.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any, Callable, Dict
+
+from repro.sweep.spec import JobSpec
+
+#: Built-in job kinds. Experiment-layer functions are referenced by
+#: dotted path (resolved lazily) to keep this module import-light.
+_REGISTRY: Dict[str, str] = {
+    # one protocol scenario -> trace payload (fig1-fig4)
+    "scenario_trace": "repro.experiments.jobs:run_scenario_trace",
+    # one (m, replica) Table 1 cell -> {latency_us, error_us}
+    "table1_cell": "repro.experiments.jobs:run_table1_cell",
+    # ablation rows (one sweep point each)
+    "ablation_guard": "repro.experiments.ablations:job_guard_point",
+    "ablation_l": "repro.experiments.ablations:job_l_point",
+    "ablation_m": "repro.experiments.ablations:job_m_point",
+    # one randomized chaos plan -> PlanOutcome
+    "chaos_plan": "repro.experiments.chaos:job_chaos_plan",
+}
+
+
+def register_job(kind: str, path: str) -> None:
+    """Register (or override) a job kind.
+
+    ``path`` is ``"module.path:function"``; the module must be importable
+    by worker processes (i.e. a real module, not ``__main__``).
+    """
+    if ":" not in path:
+        raise ValueError(f"job path must be 'module:function', got {path!r}")
+    _REGISTRY[kind] = path
+
+
+def resolve_job(kind: str) -> Callable[[JobSpec], Any]:
+    """Import and return the function executing ``kind``."""
+    try:
+        path = _REGISTRY[kind]
+    except KeyError:
+        raise KeyError(
+            f"unknown job kind {kind!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+    module_name, _, func_name = path.partition(":")
+    module = importlib.import_module(module_name)
+    try:
+        return getattr(module, func_name)
+    except AttributeError:
+        raise ImportError(f"{path!r} names no function {func_name!r}") from None
+
+
+def execute_job(spec: JobSpec) -> Any:
+    """Resolve and run one job (the function workers execute)."""
+    return resolve_job(spec.kind)(spec)

@@ -1,0 +1,325 @@
+"""The sweep executor: cache check → fan-out → ordered results.
+
+``run_sweep`` takes a list of frozen :class:`~repro.sweep.spec.JobSpec`\\ s
+and returns their results *in spec order*, however the work was
+scheduled. ``workers == 1`` is the degenerate case — a plain serial loop
+in the calling process, no pool, no pickling round-trip — so serial and
+parallel execution share every code path that can affect a result, and
+outputs stay byte-identical across worker counts (every job re-seeds from
+its own spec; nothing reads global RNG state).
+
+Progress and per-job timing stream to stderr; the same records go to a
+machine-readable JSONL run log when a path is configured (the experiment
+CLIs default one under ``results/sweep_logs/``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, TextIO
+
+from repro.sweep.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.sweep.jobs import execute_job
+from repro.sweep.spec import JobSpec
+
+
+@dataclass(frozen=True)
+class SweepOptions:
+    """How a sweep executes (not *what* it computes — that is the specs).
+
+    Attributes
+    ----------
+    workers:
+        Process count; 1 runs the jobs serially in-process.
+    cache_dir:
+        Result-cache root, or None to disable caching (the library
+        default: plain ``run()`` calls stay side-effect free unless a
+        caller opts in).
+    log_path:
+        JSONL run-log destination, or None for no log file.
+    progress:
+        Stream per-job progress/ETA lines to stderr.
+    """
+
+    workers: int = 1
+    cache_dir: Optional[str] = None
+    log_path: Optional[str] = None
+    progress: bool = False
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+
+
+@dataclass
+class SweepStats:
+    """Aggregate accounting of one ``run_sweep`` call."""
+
+    jobs: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    wall_s: float = 0.0
+    job_wall_s: List[float] = field(default_factory=list)
+    log_path: Optional[str] = None
+
+
+@dataclass
+class SweepResult:
+    """Ordered results plus accounting."""
+
+    specs: List[JobSpec]
+    values: List[Any]
+    stats: SweepStats
+
+    def __iter__(self):
+        return iter(self.values)
+
+
+def add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the shared ``--workers/--cache-dir/--no-cache`` flags."""
+    group = parser.add_argument_group("sweep execution")
+    group.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes for the scenario sweep (1 = serial; "
+        "results are byte-identical at any worker count)",
+    )
+    group.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result-cache directory (default: $SSTSP_SWEEP_CACHE or "
+        f"{DEFAULT_CACHE_DIR!r})",
+    )
+    group.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the result cache for this run",
+    )
+    group.add_argument(
+        "--sweep-log", default=None, metavar="PATH",
+        help="JSONL run-log path (default: results/sweep_logs/<name>.jsonl)",
+    )
+
+
+def sweep_options_from_args(args: argparse.Namespace) -> SweepOptions:
+    """Build :class:`SweepOptions` from parsed CLI arguments.
+
+    CLI runs cache by default (reruns of paper experiments are the hot
+    use case); ``--no-cache`` opts out.
+    """
+    if args.no_cache:
+        cache_dir = None
+    else:
+        cache_dir = (
+            args.cache_dir
+            or os.environ.get("SSTSP_SWEEP_CACHE")
+            or DEFAULT_CACHE_DIR
+        )
+    return SweepOptions(
+        workers=args.workers,
+        cache_dir=cache_dir,
+        log_path=args.sweep_log,
+        progress=True,
+    )
+
+
+def _default_log_path(name: str) -> str:
+    root = os.environ.get("SSTSP_RESULTS_DIR", "results")
+    return os.path.join(root, "sweep_logs", f"{name}.jsonl")
+
+
+class _RunLog:
+    """Line-per-event JSONL writer (no-op when path is None)."""
+
+    def __init__(self, path: Optional[str]) -> None:
+        self.path = path
+        self._fh: Optional[TextIO] = None
+        if path is not None:
+            os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+            self._fh = open(path, "w", encoding="utf-8")
+
+    def write(self, record: Dict[str, Any]) -> None:
+        if self._fh is not None:
+            self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+            self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+def _progress_line(
+    name: str, done: int, total: int, hits: int,
+    elapsed: float, miss_walls: List[float], remaining: int, workers: int,
+) -> str:
+    if miss_walls and remaining:
+        eta = sum(miss_walls) / len(miss_walls) * remaining / workers
+        eta_txt = f" eta {eta:.1f}s"
+    else:
+        eta_txt = ""
+    return (
+        f"[sweep {name}] {done}/{total} jobs ({hits} cached) "
+        f"elapsed {elapsed:.1f}s{eta_txt}"
+    )
+
+
+def run_sweep(
+    name: str,
+    specs: Sequence[JobSpec],
+    options: Optional[SweepOptions] = None,
+) -> SweepResult:
+    """Execute ``specs``, returning results in spec order.
+
+    Cached results are fetched first (in the calling process); the
+    remaining jobs run serially (``workers == 1``) or on a
+    ``ProcessPoolExecutor``. Fresh results are written back to the cache
+    as they land. A failing job raises — with the job key attached — after
+    the pool is drained.
+    """
+    options = options or SweepOptions()
+    specs = list(specs)
+    stats = SweepStats(jobs=len(specs))
+    cache = ResultCache(options.cache_dir) if options.cache_dir else None
+    log_path = options.log_path
+    if log_path is None and options.progress and specs:
+        log_path = _default_log_path(name)
+    log = _RunLog(log_path if specs else None)
+    stats.log_path = log.path
+    err = sys.stderr
+    start = time.perf_counter()
+    log.write({
+        "event": "sweep_start",
+        "sweep": name,
+        "jobs": len(specs),
+        "workers": options.workers,
+        "cache_dir": options.cache_dir,
+        "cache_salt": cache.salt if cache else None,
+        "time": time.time(),
+    })
+
+    values: List[Any] = [None] * len(specs)
+    pending: List[int] = []
+    done = 0
+    miss_walls: List[float] = []
+
+    def log_job(index: int, source: str, wall_s: float) -> None:
+        spec = specs[index]
+        log.write({
+            "event": "job",
+            "sweep": name,
+            "seq": index,
+            "kind": spec.kind,
+            "hash": spec.spec_hash()[:16],
+            "params": spec.params_dict(),
+            "cache": source,
+            "wall_s": round(wall_s, 6),
+        })
+
+    # Phase 1: satisfy what we can from the cache.
+    for index, spec in enumerate(specs):
+        if cache is not None:
+            t0 = time.perf_counter()
+            hit, value = cache.get(spec)
+            if hit:
+                values[index] = value
+                stats.cache_hits += 1
+                done += 1
+                log_job(index, "hit", time.perf_counter() - t0)
+                continue
+        pending.append(index)
+
+    if options.progress and stats.cache_hits:
+        print(
+            _progress_line(
+                name, done, len(specs), stats.cache_hits,
+                time.perf_counter() - start, miss_walls,
+                len(pending), options.workers,
+            ),
+            file=err,
+        )
+
+    def finish(index: int, value: Any, wall_s: float) -> None:
+        nonlocal done
+        values[index] = value
+        stats.executed += 1
+        stats.job_wall_s.append(wall_s)
+        miss_walls.append(wall_s)
+        done += 1
+        if cache is not None:
+            cache.put(specs[index], value)
+        log_job(index, "miss", wall_s)
+        if options.progress:
+            print(
+                _progress_line(
+                    name, done, len(specs), stats.cache_hits,
+                    time.perf_counter() - start, miss_walls,
+                    len(specs) - done, options.workers,
+                ),
+                file=err,
+            )
+
+    # Phase 2: execute the misses.
+    try:
+        if options.workers == 1 or len(pending) <= 1:
+            for index in pending:
+                t0 = time.perf_counter()
+                try:
+                    value = execute_job(specs[index])
+                except Exception as exc:
+                    raise RuntimeError(
+                        f"sweep job failed: {specs[index].job_key}"
+                    ) from exc
+                finish(index, value, time.perf_counter() - t0)
+        else:
+            with ProcessPoolExecutor(max_workers=options.workers) as pool:
+                t0 = time.perf_counter()
+                futures = {
+                    pool.submit(execute_job, specs[index]): index
+                    for index in pending
+                }
+                not_done = set(futures)
+                while not_done:
+                    finished, not_done = wait(
+                        not_done, return_when=FIRST_COMPLETED
+                    )
+                    for future in finished:
+                        index = futures[future]
+                        try:
+                            value = future.result()
+                        except Exception as exc:
+                            raise RuntimeError(
+                                f"sweep job failed: {specs[index].job_key}"
+                            ) from exc
+                        # per-job wall time is not observable from the
+                        # parent without instrumenting the worker; the
+                        # batch-averaged value keeps the ETA honest.
+                        completed = len(miss_walls) + 1
+                        finish(
+                            index, value,
+                            (time.perf_counter() - t0) / completed,
+                        )
+    finally:
+        stats.wall_s = time.perf_counter() - start
+        log.write({
+            "event": "sweep_end",
+            "sweep": name,
+            "jobs": len(specs),
+            "cache_hits": stats.cache_hits,
+            "executed": stats.executed,
+            "wall_s": round(stats.wall_s, 6),
+            "time": time.time(),
+        })
+        log.close()
+    if options.progress:
+        print(
+            f"[sweep {name}] done: {len(specs)} jobs "
+            f"({stats.cache_hits} cached, {stats.executed} executed) "
+            f"in {stats.wall_s:.2f}s"
+            + (f" (log: {stats.log_path})" if stats.log_path else ""),
+            file=err,
+        )
+    return SweepResult(specs=specs, values=values, stats=stats)

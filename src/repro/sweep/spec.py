@@ -1,0 +1,136 @@
+"""Frozen job specs: the unit of work of a sweep.
+
+A :class:`JobSpec` is pure data — a job *kind* (a key into the registry
+of :mod:`repro.sweep.jobs`) plus a flat parameter mapping — so it can be
+pickled into worker processes, hashed into a cache key, and logged. Two
+specs built from the same kind and parameters are equal however the
+parameters were ordered, which is what makes the cache content-addressed
+rather than invocation-addressed.
+
+Seeds follow the scheduling-independence rule: a job that wants a derived
+seed gets ``derive_seed(root_seed, job_key)``, a pure function of the
+spec itself — never of worker identity, completion order, or wall-clock.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+#: Parameter values a spec may carry: JSON-representable scalars, or a
+#: flat list/tuple of them (normalised to a tuple). Keeping the space
+#: this small is what keeps ``job_key`` trivially canonical.
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def _normalize_value(value: Any) -> Any:
+    """Validate and freeze one parameter value."""
+    if isinstance(value, bool) or value is None or isinstance(value, (str, int, float)):
+        return value
+    if isinstance(value, (list, tuple)):
+        items = tuple(value)
+        for item in items:
+            if not isinstance(item, _SCALARS):
+                raise TypeError(
+                    f"sweep params may hold scalars or flat lists of scalars, "
+                    f"got nested {type(item).__name__!r}"
+                )
+        return items
+    raise TypeError(
+        f"unsupported sweep param type {type(value).__name__!r} "
+        "(use str/int/float/bool/None or a flat list of them)"
+    )
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace, tuples as lists."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"), default=list)
+
+
+def derive_seed(root_seed: int, job_key: str) -> int:
+    """The per-job seed: a pure function of ``(root_seed, job_key)``.
+
+    Independent of worker scheduling by construction — two sweeps over the
+    same grid derive the same seeds whatever the worker count or the order
+    jobs happen to finish in. The digest is folded to 63 bits so it fits
+    every consumer (``np.random.default_rng``, ``RngRegistry``).
+    """
+    digest = hashlib.sha256(
+        f"{root_seed}\x1f{job_key}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One frozen, hashable unit of sweep work.
+
+    Attributes
+    ----------
+    kind:
+        Registry key naming the function that executes this job
+        (:func:`repro.sweep.jobs.resolve_job`).
+    params:
+        Normalised ``(key, value)`` tuple, sorted by key. Build specs via
+        :meth:`make` rather than spelling this out.
+    root_seed:
+        Sweep-level seed the job may derive its own seed from
+        (:meth:`derived_seed`); part of the identity (and so of the cache
+        key) because it changes the job's output.
+    """
+
+    kind: str
+    params: Tuple[Tuple[str, Any], ...] = field(default_factory=tuple)
+    root_seed: int = 0
+
+    @classmethod
+    def make(
+        cls,
+        kind: str,
+        params: Optional[Mapping[str, Any]] = None,
+        root_seed: int = 0,
+        **extra: Any,
+    ) -> "JobSpec":
+        """Build a spec from a plain mapping (plus keyword overrides)."""
+        merged: Dict[str, Any] = dict(params or {})
+        merged.update(extra)
+        frozen = tuple(
+            (key, _normalize_value(merged[key])) for key in sorted(merged)
+        )
+        return cls(kind=kind, params=frozen, root_seed=root_seed)
+
+    def params_dict(self) -> Dict[str, Any]:
+        """The parameters as a plain dict (tuples back to lists)."""
+        return {
+            key: list(value) if isinstance(value, tuple) else value
+            for key, value in self.params
+        }
+
+    @property
+    def job_key(self) -> str:
+        """Stable, human-greppable identity string of this job."""
+        payload = canonical_json(
+            {"kind": self.kind, "params": dict(self.params), "root_seed": self.root_seed}
+        )
+        return f"{self.kind}:{payload}"
+
+    def spec_hash(self, salt: str = "") -> str:
+        """SHA-256 of the job key (plus a cache-invalidation ``salt``)."""
+        return hashlib.sha256(
+            f"{salt}\x1f{self.job_key}".encode("utf-8")
+        ).hexdigest()
+
+    def derived_seed(self) -> int:
+        """This job's scheduling-independent seed (see :func:`derive_seed`)."""
+        return derive_seed(self.root_seed, self.job_key)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready projection (run logs, debugging)."""
+        return {
+            "kind": self.kind,
+            "params": self.params_dict(),
+            "root_seed": self.root_seed,
+            "hash": self.spec_hash()[:16],
+        }

@@ -214,3 +214,87 @@ class TestGilbertElliott:
             1 for a, b in zip(outcomes, outcomes[1:]) if not a and not b
         )
         assert pairs / max(losses, 1) > 0.4
+
+
+class TestGilbertElliottStatistics:
+    """Statistical validation of the burst-loss chain over 10^5 draws.
+
+    The chain's stationary behaviour is known in closed form, so the
+    empirical loss rate, the conditional bad-state loss rate, and the
+    bad-state sojourn length can all be checked against analytic values
+    with principled confidence bounds. The state sequence is Markov (not
+    i.i.d.), so the loss-rate bound uses the effective sample size under
+    the chain's lag-1 autocorrelation ``1 - p_gb - p_bg``.
+    """
+
+    N = 100_000
+    P_GB = 0.02   # good -> bad (the defaults of PhyParams)
+    P_BG = 0.25   # bad -> good
+    PER_BAD = 0.6
+    PER_GOOD = 1e-4
+
+    @pytest.fixture
+    def draws(self, rng):
+        """(lost, was_bad) per transmission, one chain step each."""
+        phy = PhyParams(
+            loss_model="gilbert_elliott",
+            packet_error_rate=self.PER_GOOD,
+            ge_p_good_to_bad=self.P_GB,
+            ge_p_bad_to_good=self.P_BG,
+            ge_per_bad=self.PER_BAD,
+        )
+        channel = BroadcastChannel(phy, rng)
+        lost = np.empty(self.N, dtype=bool)
+        was_bad = np.empty(self.N, dtype=bool)
+        for i in range(self.N):
+            lost[i] = not channel.broadcast(0, [1], 0.0, 56)
+            # the chain advances before the loss coin, so the state after
+            # broadcast() is the state that biased this draw
+            was_bad[i] = channel._ge_bad
+        return lost, was_bad
+
+    def test_loss_rate_matches_stationary_value(self, draws):
+        lost, _ = draws
+        pi_bad = self.P_GB / (self.P_GB + self.P_BG)
+        expected = pi_bad * self.PER_BAD + (1.0 - pi_bad) * self.PER_GOOD
+        # effective sample size under the chain's autocorrelation
+        r = 1.0 - self.P_GB - self.P_BG
+        ess = self.N * (1.0 - r) / (1.0 + r)
+        se = np.sqrt(expected * (1.0 - expected) / ess)
+        assert abs(lost.mean() - expected) < 6.0 * se
+
+    def test_state_occupancy_matches_stationary_distribution(self, draws):
+        _, was_bad = draws
+        pi_bad = self.P_GB / (self.P_GB + self.P_BG)
+        r = 1.0 - self.P_GB - self.P_BG
+        ess = self.N * (1.0 - r) / (1.0 + r)
+        se = np.sqrt(pi_bad * (1.0 - pi_bad) / ess)
+        assert abs(was_bad.mean() - pi_bad) < 6.0 * se
+
+    def test_conditional_loss_rate_in_bad_state(self, draws):
+        lost, was_bad = draws
+        bad_losses = lost[was_bad]
+        # given the state, loss coins are i.i.d. Bernoulli(PER_BAD)
+        se = np.sqrt(self.PER_BAD * (1.0 - self.PER_BAD) / bad_losses.size)
+        assert abs(bad_losses.mean() - self.PER_BAD) < 6.0 * se
+        # and the good state is near-lossless by construction
+        assert lost[~was_bad].mean() < 0.005
+
+    def test_mean_burst_length_is_geometric(self, draws):
+        _, was_bad = draws
+        # completed bad-state sojourns (drop a possible trailing open run)
+        edges = np.flatnonzero(np.diff(was_bad.astype(np.int8)))
+        runs = []
+        start = None
+        for i in range(1, len(was_bad)):
+            if was_bad[i] and not was_bad[i - 1]:
+                start = i
+            elif not was_bad[i] and was_bad[i - 1] and start is not None:
+                runs.append(i - start)
+        assert len(runs) > 500, "need enough sojourns for a stable mean"
+        runs = np.asarray(runs, dtype=float)
+        mean_expected = 1.0 / self.P_BG       # geometric mean sojourn
+        sd = np.sqrt(1.0 - self.P_BG) / self.P_BG
+        se = sd / np.sqrt(runs.size)
+        assert abs(runs.mean() - mean_expected) < 6.0 * se
+        assert edges.size >= 2 * len(runs) - 2  # sanity: runs alternate

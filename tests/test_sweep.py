@@ -1,0 +1,219 @@
+"""Tests for the sweep orchestrator: grids, specs, cache, determinism.
+
+The headline property (ISSUE: determinism-under-parallelism) is at the
+bottom: the same grid run at ``--workers 1`` and ``--workers 4`` must
+produce identical result dicts and byte-identical CSV output, and a
+second run against a warm cache must be served entirely from it with
+equal values.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.experiments import table1
+from repro.sweep import (
+    CACHE_SALT,
+    JobSpec,
+    ResultCache,
+    SweepOptions,
+    derive_seed,
+    expand_grid,
+    register_job,
+    run_sweep,
+)
+
+# --- module-level job functions (worker processes re-import this module
+# --- by name, so these must live at module scope) ------------------------
+
+
+def echo_job(spec: JobSpec):
+    return {"params": spec.params_dict(), "seed": spec.derived_seed()}
+
+
+def boom_job(spec: JobSpec):
+    raise ValueError("kaboom")
+
+
+register_job("test_echo", f"{__name__}:echo_job")
+register_job("test_boom", f"{__name__}:boom_job")
+
+
+# --- grid expansion ------------------------------------------------------
+
+
+def test_expand_grid_product_order_and_fixed_scalars():
+    points = expand_grid({"m": [1, 2], "n": 30, "guard": [0.0, 0.5]})
+    # axes in insertion order, last axis fastest, scalars on every point
+    assert points == [
+        {"m": 1, "n": 30, "guard": 0.0},
+        {"m": 1, "n": 30, "guard": 0.5},
+        {"m": 2, "n": 30, "guard": 0.0},
+        {"m": 2, "n": 30, "guard": 0.5},
+    ]
+
+
+def test_expand_grid_empty_axis_rejected():
+    with pytest.raises(ValueError, match="no values"):
+        expand_grid({"m": []})
+
+
+# --- job specs -----------------------------------------------------------
+
+
+def test_jobspec_identity_ignores_param_order():
+    a = JobSpec.make("table1_cell", {"m": 2, "n": 30, "seed": 1})
+    b = JobSpec.make("table1_cell", {"seed": 1, "n": 30, "m": 2})
+    assert a == b
+    assert a.job_key == b.job_key
+    assert a.spec_hash(CACHE_SALT) == b.spec_hash(CACHE_SALT)
+
+
+def test_jobspec_identity_is_sensitive_to_values_and_root_seed():
+    base = JobSpec.make("test_echo", {"x": 1})
+    assert base.job_key != JobSpec.make("test_echo", {"x": 2}).job_key
+    assert base.job_key != JobSpec.make("test_echo", {"x": 1}, root_seed=7).job_key
+
+
+def test_jobspec_rejects_nested_params():
+    with pytest.raises(TypeError, match="flat"):
+        JobSpec.make("test_echo", {"x": [[1, 2]]})
+    with pytest.raises(TypeError, match="unsupported"):
+        JobSpec.make("test_echo", {"x": {"nested": True}})
+
+
+def test_derive_seed_is_pure_and_63_bit():
+    spec = JobSpec.make("test_echo", {"x": 1}, root_seed=42)
+    assert spec.derived_seed() == derive_seed(42, spec.job_key)
+    assert spec.derived_seed() == spec.derived_seed()
+    assert 0 <= spec.derived_seed() < 2**63
+    # different jobs under the same root seed get different streams
+    other = JobSpec.make("test_echo", {"x": 2}, root_seed=42)
+    assert spec.derived_seed() != other.derived_seed()
+
+
+def test_spec_hash_changes_with_salt():
+    spec = JobSpec.make("test_echo", {"x": 1})
+    assert spec.spec_hash("salt-a") != spec.spec_hash("salt-b")
+
+
+# --- result cache --------------------------------------------------------
+
+
+def test_cache_roundtrip_and_stats(tmp_path):
+    cache = ResultCache(str(tmp_path / "cache"))
+    spec = JobSpec.make("test_echo", {"x": 1})
+    hit, _ = cache.get(spec)
+    assert not hit
+    path = cache.put(spec, {"value": 11})
+    assert os.path.exists(path)
+    hit, value = cache.get(spec)
+    assert hit and value == {"value": 11}
+    assert (cache.stats.hits, cache.stats.misses, cache.stats.writes) == (1, 1, 1)
+
+
+def test_cache_salt_invalidates_old_entries(tmp_path):
+    root = str(tmp_path / "cache")
+    spec = JobSpec.make("test_echo", {"x": 1})
+    ResultCache(root, salt="v1").put(spec, "old")
+    hit, _ = ResultCache(root, salt="v2").get(spec)
+    assert not hit, "a salt bump must never serve stale results"
+
+
+def test_cache_corrupt_entry_counts_as_miss(tmp_path):
+    cache = ResultCache(str(tmp_path / "cache"))
+    spec = JobSpec.make("test_echo", {"x": 1})
+    cache.put(spec, "good")
+    with open(cache.path_for(spec), "wb") as fh:
+        fh.write(b"not a pickle")
+    hit, _ = cache.get(spec)
+    assert not hit
+
+
+# --- orchestrator mechanics (serial path, cheap echo jobs) ---------------
+
+
+def _echo_specs(count=4):
+    return [JobSpec.make("test_echo", {"x": i}, root_seed=9) for i in range(count)]
+
+
+def test_run_sweep_returns_results_in_spec_order():
+    result = run_sweep("echo", _echo_specs())
+    assert [v["params"]["x"] for v in result.values] == [0, 1, 2, 3]
+    assert result.stats.executed == 4 and result.stats.cache_hits == 0
+
+
+def test_run_sweep_second_run_is_all_cache_hits(tmp_path):
+    options = SweepOptions(cache_dir=str(tmp_path / "cache"))
+    cold = run_sweep("echo", _echo_specs(), options)
+    warm = run_sweep("echo", _echo_specs(), options)
+    assert cold.stats.executed == 4 and cold.stats.cache_hits == 0
+    assert warm.stats.executed == 0 and warm.stats.cache_hits == 4
+    assert warm.values == cold.values
+
+
+def test_run_sweep_failure_names_the_job():
+    specs = [JobSpec.make("test_boom", {"x": 1})]
+    with pytest.raises(RuntimeError, match="sweep job failed: test_boom"):
+        run_sweep("boom", specs)
+
+
+def test_run_sweep_writes_jsonl_run_log(tmp_path):
+    log_path = str(tmp_path / "run.jsonl")
+    run_sweep("echo", _echo_specs(2), SweepOptions(log_path=log_path))
+    records = [json.loads(line) for line in open(log_path, encoding="utf-8")]
+    assert [r["event"] for r in records] == ["sweep_start", "job", "job", "sweep_end"]
+    assert records[0]["workers"] == 1
+    assert all(r["cache"] == "miss" for r in records[1:3])
+    assert records[-1]["executed"] == 2
+
+
+def test_unknown_job_kind_is_a_clear_error():
+    with pytest.raises(RuntimeError, match="sweep job failed"):
+        run_sweep("nope", [JobSpec.make("no_such_kind", {})])
+
+
+# --- determinism under parallelism (the satellite contract) --------------
+
+
+_GRID = dict(m_values=(1, 2), n=16, duration_s=5.0, seed=3, replicas=1)
+
+
+def _rows_and_csv(monkeypatch, tmp_path, tag, sweep):
+    out_dir = tmp_path / tag
+    monkeypatch.setenv("SSTSP_RESULTS_DIR", str(out_dir))
+    rows = table1.run(sweep=sweep, **_GRID)
+    csv_path = table1.save_rows_csv(rows)
+    with open(csv_path, "rb") as fh:
+        return rows, fh.read()
+
+
+def test_table1_identical_across_worker_counts(monkeypatch, tmp_path):
+    serial_rows, serial_csv = _rows_and_csv(
+        monkeypatch, tmp_path, "serial", SweepOptions(workers=1)
+    )
+    parallel_rows, parallel_csv = _rows_and_csv(
+        monkeypatch, tmp_path, "parallel", SweepOptions(workers=4)
+    )
+    assert parallel_rows == serial_rows
+    assert parallel_csv == serial_csv, "CSV bytes must not depend on worker count"
+
+
+def test_table1_warm_cache_reproduces_results(monkeypatch, tmp_path):
+    options = SweepOptions(workers=1, cache_dir=str(tmp_path / "cache"))
+    cold_rows, cold_csv = _rows_and_csv(monkeypatch, tmp_path, "cold", options)
+    warm_rows, warm_csv = _rows_and_csv(monkeypatch, tmp_path, "warm", options)
+    assert warm_rows == cold_rows
+    assert warm_csv == cold_csv
+
+    # and the second sweep really was served from the cache
+    specs = table1.cell_specs(
+        _GRID["m_values"], _GRID["n"], _GRID["duration_s"],
+        _GRID["seed"], _GRID["replicas"],
+    )
+    result = run_sweep("table1", specs, options)
+    assert result.stats.cache_hits == len(specs)
+    assert result.stats.executed == 0
