@@ -1,6 +1,8 @@
 """Extension bench: multi-hop SSTSP (the paper's future work).
 
-Measures the error-vs-hop-distance profile on a chain and checks the
+Runs the multi-hop scenario suite through the sweep orchestrator (the
+same lane as ``python -m repro multihop``), so the bench inherits the
+shared ``--sweep-workers`` / ``--sweep-cache-dir`` flags, and checks the
 extension's qualitative contract: hop-1 at single-hop accuracy, smooth
 (amplifying) growth with depth, all stations synchronized well inside a
 beacon period.
@@ -8,21 +10,44 @@ beacon period.
 
 from __future__ import annotations
 
-import numpy as np
-
 from conftest import paper_rows
 
-from repro.multihop import MultiHopRunner, MultiHopSpec, Topology
+from repro.experiments import multihop
+
+#: One content-addressed JobSpec per scenario: the worst-case chain and
+#: a random unit-disk deployment (drawn from the job's derived seed).
+SCENARIOS = (
+    {
+        "name": "chain15",
+        "topology": "chain",
+        "n": 15,
+        "duration_s": 30.0,
+        "seed": 3,
+        "m": 8,
+    },
+    {
+        "name": "disk40",
+        "topology": "unit_disk",
+        "n": 40,
+        "area_m": 1_000.0,
+        "radius_m": 300.0,
+        "duration_s": 30.0,
+        "seed": 3,
+    },
+)
 
 
-def _run_chain():
-    spec = MultiHopSpec(topology=Topology.chain(15), seed=3, duration_s=30.0, m=8)
-    return MultiHopRunner(spec).run()
+def _run_suite(sweep):
+    return multihop.run(scenarios=SCENARIOS, sweep=sweep)
 
 
-def test_multihop_chain_profile(benchmark):
-    result = benchmark.pedantic(_run_chain, rounds=1, iterations=1)
-    errors = result.per_hop_error_us
+def test_multihop_suite(benchmark, sweep_options):
+    chain, disk = benchmark.pedantic(
+        _run_suite, args=(sweep_options,), rounds=1, iterations=1
+    )
+
+    # chain of 15: the error-vs-hop-distance profile
+    errors = chain["per_hop_error_us"]
     assert set(errors) == set(range(1, 15))
     assert errors[1] < 10.0                      # single-hop accuracy
     assert errors[14] > errors[1]                # amplification with depth
@@ -33,24 +58,15 @@ def test_multihop_chain_profile(benchmark):
         [f"hop {h}: {errors[h]:.1f}us" for h in sorted(errors)],
     )
 
-
-def test_multihop_unit_disk(benchmark):
-    def run_disk():
-        topology = Topology.unit_disk(
-            40, np.random.default_rng(5), area_m=1_000.0, radius_m=300.0
-        )
-        spec = MultiHopSpec(topology=topology, seed=3, duration_s=30.0)
-        return MultiHopRunner(spec).run()
-
-    result = benchmark.pedantic(run_disk, rounds=1, iterations=1)
-    # whole deployment synchronized (the odd straggler may be re-acquiring)
-    assert result.trace.present_counts[-1] >= 38
-    assert result.per_hop_error_us[1] < 10.0
+    # unit-disk 40: whole deployment synchronized (the odd straggler may
+    # be re-acquiring when the run ends)
+    assert disk["final_present"] >= 38
+    assert disk["per_hop_error_us"][1] < 10.0
     paper_rows(
         benchmark,
         "multihop: unit-disk 40 stations",
         [
             f"hop {h}: {v:.1f}us"
-            for h, v in sorted(result.per_hop_error_us.items())
+            for h, v in sorted(disk["per_hop_error_us"].items())
         ],
     )

@@ -19,18 +19,44 @@ import pytest
 from repro.sweep import SweepOptions
 
 
+def pytest_addoption(parser):
+    """The orchestrator knobs, shared by every sweep-driven bench.
+
+    Mirrors the experiment CLIs' ``--workers`` / ``--cache-dir``
+    (prefixed to avoid clashing with pytest's own options).
+    """
+    parser.addoption(
+        "--sweep-workers",
+        type=int,
+        default=None,
+        help="worker processes for sweep-driven benches "
+        "(default: SSTSP_BENCH_WORKERS or 1)",
+    )
+    parser.addoption(
+        "--sweep-cache-dir",
+        default=None,
+        help="content-addressed result cache directory (default: off — a "
+        "benchmark that replays pickles measures the cache, not the "
+        "simulator)",
+    )
+
+
 @pytest.fixture
-def sweep_options() -> SweepOptions:
+def sweep_options(request) -> SweepOptions:
     """How bench modules drive the sweep orchestrator.
 
-    Caching stays off — a benchmark that replays pickles measures the
-    cache, not the simulator. ``SSTSP_BENCH_WORKERS`` opts into parallel
-    fan-out (results are identical at any worker count, only the wall
-    clock moves, so the recorded rows stay comparable across machines).
+    Caching stays off unless ``--sweep-cache-dir`` opts in.
+    ``--sweep-workers`` (or the ``SSTSP_BENCH_WORKERS`` env) opts into
+    parallel fan-out (results are identical at any worker count, only
+    the wall clock moves, so the recorded rows stay comparable across
+    machines).
     """
+    workers = request.config.getoption("--sweep-workers")
+    if workers is None:
+        workers = int(os.environ.get("SSTSP_BENCH_WORKERS", "1"))
     return SweepOptions(
-        workers=int(os.environ.get("SSTSP_BENCH_WORKERS", "1")),
-        cache_dir=None,
+        workers=workers,
+        cache_dir=request.config.getoption("--sweep-cache-dir"),
     )
 
 

@@ -21,6 +21,7 @@ from repro.clocks.oscillator import (
     sample_rates,
 )
 from repro.clocks.adjusted import AdjustedClock, ClockSegment, MonotonicityError
+from repro.clocks.chain import ClockChain, invert_affine_fixed_point
 from repro.clocks.population import ClockPopulation
 
 __all__ = [
@@ -31,5 +32,7 @@ __all__ = [
     "AdjustedClock",
     "ClockSegment",
     "MonotonicityError",
+    "ClockChain",
+    "invert_affine_fixed_point",
     "ClockPopulation",
 ]

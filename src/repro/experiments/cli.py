@@ -23,6 +23,7 @@ from repro.experiments import (
     fig3,
     fig4,
     lemmas,
+    multihop,
     overhead,
     related,
     table1,
@@ -34,6 +35,7 @@ EXPERIMENTS: Dict[str, Callable[[List[str]], None]] = {
     "fig3": fig3.main,
     "fig4": fig4.main,
     "table1": table1.main,
+    "multihop": multihop.main,
     "overhead": overhead.main,
     "lemmas": lemmas.main,
     "related": related.main,

@@ -2,13 +2,13 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.clocks.population import ClockPopulation
-from repro.network.churn import ChurnSchedule, REFERENCE_MARKER
+from repro.network.churn import ChurnApplier, ChurnSchedule
 from repro.network.ibss import ScenarioSpec
 from repro.sim.rng import RngRegistry
 
@@ -21,6 +21,9 @@ class VectorState:
     offsets: np.ndarray
     present: np.ndarray  # bool mask
     rngs: RngRegistry
+    _population: Optional[ClockPopulation] = field(
+        default=None, repr=False, compare=False
+    )
 
     @classmethod
     def from_spec(cls, spec: ScenarioSpec, extra_nodes: int = 0) -> "VectorState":
@@ -42,26 +45,40 @@ class VectorState:
     def n(self) -> int:
         return self.rates.shape[0]
 
+    @property
+    def population(self) -> ClockPopulation:
+        """The shared vectorised clock view over this state's arrays.
+
+        A :class:`ClockPopulation` holds array *references*, so in-place
+        offset/rate mutations stay visible; the view is rebuilt only when
+        an engine rebinds the arrays wholesale.
+        """
+        pop = self._population
+        if pop is None or pop.rates is not self.rates or pop.offsets is not self.offsets:
+            pop = ClockPopulation(self.rates, self.offsets)
+            self._population = pop
+        return pop
+
     def hw_at(self, true_time: float, out: Optional[np.ndarray] = None) -> np.ndarray:
         """Hardware clock of every node at one instant."""
-        if out is None:
-            out = np.empty_like(self.rates)
-        np.multiply(self.rates, true_time, out=out)
-        out += self.offsets
-        return out
+        return self.population.read_all(true_time, out=out)
 
 
 class ChurnDriver:
     """Applies a :class:`ChurnSchedule` to a boolean presence mask.
 
-    ``REFERENCE_MARKER`` events are resolved through a callback supplying
-    the current reference (mirroring the reference lane's behaviour).
+    A thin vector-lane adapter over the shared :class:`ChurnApplier`
+    (same marker FIFO and double-booking rules as the reference lane);
+    out-of-range node ids are dropped.
     """
 
     def __init__(self, schedule: Optional[ChurnSchedule]) -> None:
-        self._schedule = schedule
-        self._marker_left: List[int] = []
+        self._applier = ChurnApplier(schedule)
         self.events: List[str] = []
+
+    @property
+    def _marker_left(self) -> List[int]:
+        return self._applier.marker_left
 
     def apply(
         self,
@@ -72,36 +89,31 @@ class ChurnDriver:
         on_return=None,
     ) -> None:
         """Apply the events due at ``period`` to the presence mask."""
-        if self._schedule is None:
-            return
-        for event in self._schedule.events_for(period):
-            for node_id in event.node_ids:
-                resolved = self._resolve(node_id, event.action, current_reference)
-                if resolved is None or not 0 <= resolved < present.shape[0]:
-                    continue
-                if event.action == "leave" and present[resolved]:
-                    present[resolved] = False
-                    self.events.append(f"p{period}: node {resolved} left")
-                    if on_leave is not None:
-                        on_leave(resolved)
-                elif event.action == "return" and not present[resolved]:
-                    present[resolved] = True
-                    self.events.append(f"p{period}: node {resolved} returned")
-                    if on_return is not None:
-                        on_return(resolved)
 
-    def _resolve(self, node_id: int, action: str, current_reference) -> Optional[int]:
-        if node_id != REFERENCE_MARKER:
-            return node_id
-        if action == "leave":
-            ref = current_reference()
-            if ref is None or ref < 0:
+        def is_present(node_id: int) -> Optional[bool]:
+            if not 0 <= node_id < present.shape[0]:
                 return None
-            self._marker_left.append(ref)
-            return ref
-        if self._marker_left:
-            return self._marker_left.pop(0)
-        return None
+            return bool(present[node_id])
+
+        def leave(node_id: int) -> None:
+            present[node_id] = False
+            self.events.append(f"p{period}: node {node_id} left")
+            if on_leave is not None:
+                on_leave(node_id)
+
+        def ret(node_id: int) -> None:
+            present[node_id] = True
+            self.events.append(f"p{period}: node {node_id} returned")
+            if on_return is not None:
+                on_return(node_id)
+
+        self._applier.apply(
+            period,
+            current_reference=current_reference,
+            is_present=is_present,
+            leave=leave,
+            ret=ret,
+        )
 
 
 def unique_min_slot_winner(

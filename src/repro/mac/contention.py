@@ -27,10 +27,13 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 import numpy as np
+
+T = TypeVar("T")
 
 
 @dataclass(frozen=True)
@@ -147,6 +150,87 @@ def resolve_contention(
             # Medium sensed busy: defer to the end of the busy period.
             heapq.heappush(heap, (cur_end, next(counter), station))
     close_group()
+    return result
+
+
+def partition_domains(
+    candidates: Sequence[T],
+    member_ids: Sequence[int],
+    groups: Optional[Dict[int, int]],
+    candidate_id: Callable[[T], int] = lambda c: c[0],  # type: ignore[index]
+) -> List[Tuple[List[T], List[int]]]:
+    """Split one beacon window into independent hearing domains.
+
+    ``groups`` maps node id -> partition group (a network-partition
+    fault); ``None`` means the medium is whole and everything resolves
+    in a single domain. Nodes missing from ``groups`` are isolated from
+    every listed group (they match no group id), mirroring how a
+    physical partition silences stragglers. Returns
+    ``(domain_candidates, domain_member_ids)`` pairs in sorted group
+    order; each domain runs its own contention cascade, which is how
+    two references can coexist until the network heals.
+    """
+    if groups is None:
+        return [(list(candidates), list(member_ids))]
+    domains: List[Tuple[List[T], List[int]]] = []
+    for group in sorted(set(groups.values())):
+        members = [nid for nid in member_ids if groups.get(nid) == group]
+        domain_candidates = [
+            c for c in candidates if groups.get(candidate_id(c)) == group
+        ]
+        domains.append((domain_candidates, members))
+    return domains
+
+
+@dataclass
+class NeighborhoodResult:
+    """Outcome of spatial carrier sensing over one beacon window."""
+
+    #: ``(station, start_time)`` of every transmission that went on air,
+    #: in start-time order.
+    kept: List[Tuple[int, float]] = field(default_factory=list)
+    #: Stations that sensed the medium busy and cancelled.
+    cancelled: List[int] = field(default_factory=list)
+
+
+def resolve_neighborhood(
+    candidates: Sequence[Tuple[int, float]],
+    airtime_us: float,
+    hears: Callable[[int], Iterable[int]],
+) -> NeighborhoodResult:
+    """Carrier sensing over an arbitrary hearing graph.
+
+    The single-hop cascade (:func:`resolve_contention`) assumes every
+    station hears every other; in a spatial network a transmission only
+    silences the sender's audible neighborhood, so several transmissions
+    can legitimately share a window (spatial reuse) and hidden terminals
+    can still collide at a receiver. This resolver generalises the
+    busy-medium rule to arbitrary per-station hearing sets:
+
+    * candidates are processed in scheduled-time order (ties in input
+      order, matching the deterministic engines);
+    * a station whose medium is busy at its scheduled instant cancels
+      (relays do not defer: they retry next period's window);
+    * a transmission marks every station in ``hears(sender)`` busy until
+      the frame ends.
+
+    Receiver-side collision grouping (two audible frames overlapping at
+    one receiver) is the channel's job, not the MAC's — see
+    :meth:`repro.phy.channel.SpatialBroadcastChannel.deliver_window`.
+    """
+    if airtime_us <= 0:
+        raise ValueError("airtime_us must be > 0")
+    result = NeighborhoodResult()
+    busy_until: Dict[int, float] = {}
+    for station, start in sorted(candidates, key=lambda c: c[1]):
+        if busy_until.get(station, -math.inf) > start:
+            result.cancelled.append(station)
+            continue
+        result.kept.append((station, start))
+        end = start + airtime_us
+        for neighbor in hears(station):
+            if end > busy_until.get(neighbor, -math.inf):
+                busy_until[neighbor] = end
     return result
 
 

@@ -1,4 +1,4 @@
-"""The multi-hop SSTSP simulation.
+"""The multi-hop SSTSP simulation, as a client of the shared kernel.
 
 One designated *root* (the paper's "first node arriving in the network"
 that publishes ``T_0``) beacons at every BP exactly like the single-hop
@@ -19,27 +19,72 @@ hop segment and backoff. For the root's direct children the two coincide.
 
 If the root leaves, its orphaned hop-1 children run the single-hop
 election among themselves; the winner becomes the new root.
+
+This lane shares the simulation kernel with the single-hop engines:
+
+* **clocks** — every station is a :class:`~repro.network.node.Node`
+  holding a :class:`~repro.clocks.oscillator.HardwareClock` plus the
+  :class:`~repro.clocks.chain.ClockChain` conversion between true /
+  hardware / adjusted time;
+* **MAC** — spatial carrier sensing runs through
+  :func:`repro.mac.contention.resolve_neighborhood` (partition faults
+  restrict each sender's hearing set);
+* **PHY** — delivery runs through
+  :class:`~repro.phy.channel.SpatialBroadcastChannel`, gaining the
+  shared loss models (per-receiver / per-transmission /
+  Gilbert-Elliott), jam windows, loss-burst overrides and per-link
+  error overrides;
+* **churn** — ``leave_at`` / ``return_at`` and an optional
+  :class:`~repro.network.churn.ChurnSchedule` (reference markers
+  included) apply through the shared
+  :class:`~repro.network.churn.ChurnApplier`;
+* **faults** — a :class:`~repro.faults.injector.FaultInjector` attaches
+  exactly as on the single-hop runner (period hooks, stalls,
+  partitions, crashes, clock mutations);
+* **metrics** — samples are recorded with the shared
+  :class:`~repro.analysis.metrics.TraceRecorder`.
+
+A *complete* topology is the degenerate case where the spatial model
+adds nothing over the single-hop IBSS; :meth:`MultiHopRunner.run` then
+delegates to the reference :class:`~repro.network.runner.NetworkRunner`
+built from :func:`degenerate_scenario`, so complete-graph multi-hop
+specs reproduce the single-hop lane's election and adjustment decisions
+exactly (see ``tests/test_differential_parity.py``).
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
 from repro.analysis.metrics import SyncTrace, TraceRecorder
 from repro.clocks.adjusted import AdjustedClock, MonotonicityError
+from repro.clocks.chain import ClockChain
 from repro.clocks.population import ClockPopulation
 from repro.core.adjustment import (
     AdjustmentSample,
     DegenerateSamplesError,
     solve_adjustment,
 )
+from repro.core.config import SstspConfig
+from repro.mac.contention import resolve_neighborhood
 from repro.multihop.topology import Topology
+from repro.network.churn import ChurnApplier, ChurnEvent, ChurnSchedule
+from repro.network.ibss import ScenarioSpec, build_sstsp_network
+from repro.network.node import Node
+from repro.network.runner import RunnerParams
+from repro.phy.channel import SpatialBroadcastChannel
+from repro.phy.params import SSTSP_BEACON_BYTES, PhyParams
 from repro.sim.rng import RngRegistry
 from repro.sim.units import S
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.injector import FaultInjector
+
+_LOSS_MODELS = ("per_receiver", "per_transmission", "gilbert_elliott")
 
 
 @dataclass(frozen=True)
@@ -80,6 +125,11 @@ class MultiHopSpec:
     #: multi-hop analogue of the recovery extension).
     resync_after_periods: int = 10
     k_clamp: float = 5e-3
+    #: Shared channel loss model (see :class:`repro.phy.params.PhyParams`).
+    loss_model: str = "per_receiver"
+    #: Optional churn schedule, merged with ``leave_at`` / ``return_at``
+    #: (reference markers resolve to the current root).
+    churn: Optional[ChurnSchedule] = None
 
     def __post_init__(self) -> None:
         if not 0 <= self.root < self.topology.n:
@@ -93,23 +143,50 @@ class MultiHopSpec:
                 "hop_stride_slots must exceed beacon_airtime_slots: adjacent "
                 "hop segments would overlap on the air"
             )
+        if self.loss_model not in _LOSS_MODELS:
+            raise ValueError(f"unknown loss model {self.loss_model!r}")
 
     @property
     def periods(self) -> int:
         return int(round(self.duration_s * S / self.beacon_period_us))
 
 
-@dataclass
-class _NodeState:
-    """Per-station protocol state (the multi-hop analogue of SstspProtocol)."""
+class _RelayProtocol:
+    """Per-station multi-hop relay state (the SstspProtocol analogue).
 
-    clock: AdjustedClock
-    hop: Optional[int] = None  # None = not yet synchronized; 0 = root
-    upstream: Optional[int] = None
-    silent: int = 0
-    adjustments: int = 0
-    samples: List[AdjustmentSample] = field(default_factory=list)
-    pending: Optional[Tuple[int, float, float]] = None  # (interval, hw, est)
+    Exposes the protocol surface the shared kernel plumbing drives:
+    ``is_synchronized`` / ``is_reference`` / ``clock`` for metrics and
+    chaos invariants, ``on_leave`` / ``on_return`` for churn and fault
+    restarts, ``synchronized_time`` for sampling. The heavy lifting
+    (relay scheduling, guard, adjustment) lives in the runner, which
+    mutates this state directly.
+    """
+
+    __slots__ = (
+        "node_id",
+        "chain",
+        "hop",
+        "upstream",
+        "silent",
+        "adjustments",
+        "samples",
+        "pending",
+    )
+
+    def __init__(self, node_id: int, chain: ClockChain) -> None:
+        self.node_id = node_id
+        self.chain = chain
+        self.hop: Optional[int] = None  # None = not yet synchronized; 0 = root
+        self.upstream: Optional[int] = None
+        self.silent = 0
+        self.adjustments = 0
+        self.samples: List[AdjustmentSample] = []
+        self.pending: Optional[Tuple[int, float, float]] = None
+
+    @property
+    def clock(self) -> AdjustedClock:
+        """The station's adjusted clock (chaos monotonicity audits read it)."""
+        return self.chain.adjusted
 
     def reset_sync(self) -> None:
         self.hop = None
@@ -117,6 +194,41 @@ class _NodeState:
         self.samples.clear()
         self.pending = None
         self.silent = 0
+
+    def synchronized_time(self, hw_time: float) -> float:
+        return self.chain.adjusted.read_current(hw_time)
+
+    def is_synchronized(self) -> bool:
+        return self.hop is not None
+
+    def is_reference(self) -> bool:
+        return self.hop == 0
+
+    def on_leave(self, period: int) -> None:
+        """Graceful departure keeps state (the station may return in sync)."""
+
+    def on_return(self, period: int) -> None:
+        """A returning/restarted station re-acquires from scratch."""
+        self.reset_sync()
+
+
+class RelayNode(Node):
+    """A multi-hop station: a kernel :class:`Node` whose protocol is the
+    relay state, with the relay fields surfaced for tests/diagnostics."""
+
+    __slots__ = ()
+
+    @property
+    def hop(self) -> Optional[int]:
+        return self.protocol.hop
+
+    @property
+    def upstream(self) -> Optional[int]:
+        return self.protocol.upstream
+
+    @property
+    def clock(self) -> AdjustedClock:
+        return self.protocol.clock
 
 
 @dataclass
@@ -159,8 +271,50 @@ class MultiHopResult:
         return max(self.hop_of.values()) if self.hop_of else 0
 
 
+def degenerate_scenario(spec: MultiHopSpec) -> Tuple[ScenarioSpec, SstspConfig]:
+    """Translate a complete-graph multi-hop spec to the single-hop lane.
+
+    On a complete graph every station hears every other, hop distances
+    are all 1 and the relay machinery degenerates to the IBSS election;
+    the returned ``(scenario, config)`` pair builds the reference
+    :class:`~repro.network.runner.NetworkRunner` with the same clocks,
+    channel parameters and protocol constants (the per-hop guard
+    collapses to ``guard_fine + guard_per_hop`` - one hop).
+    """
+    phy = PhyParams(
+        slot_time_us=spec.slot_time_us,
+        beacon_airtime_slots=spec.beacon_airtime_slots,
+        propagation_delay_us=spec.propagation_delay_us,
+        timestamp_jitter_us=spec.timestamp_jitter_us,
+        packet_error_rate=spec.packet_error_rate,
+        loss_model=spec.loss_model,
+    )
+    scenario = ScenarioSpec(
+        n=spec.topology.n,
+        seed=spec.seed,
+        duration_s=spec.duration_s,
+        beacon_period_us=spec.beacon_period_us,
+        drift_ppm=spec.drift_ppm,
+        initial_offset_us=spec.initial_offset_us,
+        phy=phy,
+    )
+    config = SstspConfig(
+        beacon_period_us=spec.beacon_period_us,
+        slot_time_us=spec.slot_time_us,
+        l=spec.l,
+        m=spec.m,
+        guard_fine_us=spec.guard_fine_us + spec.guard_per_hop_us,
+        k_clamp=spec.k_clamp,
+        rx_latency_us=(
+            spec.beacon_airtime_slots * spec.slot_time_us
+            + spec.propagation_delay_us
+        ),
+    )
+    return scenario, config
+
+
 class MultiHopRunner:
-    """Drives one multi-hop SSTSP network."""
+    """Drives one multi-hop SSTSP network on the shared kernel."""
 
     def __init__(self, spec: MultiHopSpec) -> None:
         self.spec = spec
@@ -172,41 +326,77 @@ class MultiHopRunner:
             drift_ppm=spec.drift_ppm,
             initial_offset_us=spec.initial_offset_us,
         )
-        self.rates = population.rates
-        self.offsets = population.offsets
-        self.present = np.ones(self.n, dtype=bool)
-        self.nodes = [
-            _NodeState(clock=AdjustedClock(1.0, 0.0)) for _ in range(self.n)
-        ]
+        self._slot_rng = self.rngs.get("slots")
+        self.phy = PhyParams(
+            slot_time_us=spec.slot_time_us,
+            beacon_airtime_slots=spec.beacon_airtime_slots,
+            propagation_delay_us=spec.propagation_delay_us,
+            timestamp_jitter_us=spec.timestamp_jitter_us,
+            packet_error_rate=spec.packet_error_rate,
+            loss_model=spec.loss_model,
+        )
+        self.channel: SpatialBroadcastChannel = SpatialBroadcastChannel(
+            self.phy, self.rngs.get("channel"), spec.topology
+        )
+        self.params = RunnerParams(
+            beacon_period_us=spec.beacon_period_us,
+            periods=spec.periods,
+            beacon_airtime_slots=spec.beacon_airtime_slots,
+        )
+        self.nodes: List[Node] = []
+        for i in range(self.n):
+            hw = population.clock(i)
+            node = RelayNode(i, hw)
+            node.protocol = _RelayProtocol(i, ClockChain(hw))
+            self.nodes.append(node)
+        self._by_id: Dict[int, Node] = {node.node_id: node for node in self.nodes}
         self.root = spec.root
-        self.nodes[self.root].hop = 0
+        self._state(self.root).hop = 0
         self.root_changes = 0
         self.beacons_sent = 0
         self.collisions = 0
-        self._slot_rng = self.rngs.get("slots")
-        self._chan_rng = self.rngs.get("channel")
-        self._recorder = TraceRecorder()
+        self.recorder = TraceRecorder()
         self._per_hop_errors: Dict[int, List[float]] = {}
-        self._relay_phase: Dict[Tuple[int, int], int] = {}
+        self._relay_phase: Dict[Tuple[int, Optional[int], int], int] = {}
         #: scheduled departures: period -> list of nodes (tests/examples use
         #: this to exercise root failover)
         self.leave_at: Dict[int, List[int]] = {}
         self.return_at: Dict[int, List[int]] = {}
+        self._events: List[str] = []
+        self.injector: Optional["FaultInjector"] = None
+        self._churn_applier: Optional[ChurnApplier] = None
 
     # ------------------------------------------------------------------
-    # Clock plumbing
+    # Kernel surface (shared with NetworkRunner)
     # ------------------------------------------------------------------
 
-    def _hw_at(self, node: int, true_time: float) -> float:
-        return self.rates[node] * true_time + self.offsets[node]
+    def attach_injector(self, injector: "FaultInjector") -> None:
+        """Bind a fault injector; its hooks run every period from now on."""
+        injector.bind(self)
+        self.injector = injector
 
-    def _true_at_adjusted(self, node: int, adjusted_value: float) -> float:
-        state = self.nodes[node]
-        hw = (adjusted_value - state.clock.b) / state.clock.k
-        return (hw - self.offsets[node]) / self.rates[node]
+    def current_reference(self) -> int:
+        """The current root (-1 while orphaned) - the reference role of
+        this lane, consulted by churn markers and crash bookkeeping."""
+        if self.root >= 0 and self._by_id[self.root].present:
+            return self.root
+        return -1
 
-    def _adjusted_at(self, node: int, true_time: float) -> float:
-        return self.nodes[node].clock.read_current(self._hw_at(node, true_time))
+    def _state(self, node_id: int) -> _RelayProtocol:
+        return self._by_id[node_id].protocol
+
+    # ------------------------------------------------------------------
+    # Clock plumbing (through the shared ClockChain)
+    # ------------------------------------------------------------------
+
+    def _hw_at(self, node_id: int, true_time: float) -> float:
+        return self._by_id[node_id].hw.read(true_time)
+
+    def _true_at_adjusted(self, node_id: int, adjusted_value: float) -> float:
+        return self._state(node_id).chain.true_at_adjusted(adjusted_value)
+
+    def _adjusted_at(self, node_id: int, true_time: float) -> float:
+        return self._state(node_id).chain.adjusted_at(true_time)
 
     # ------------------------------------------------------------------
     # Main loop
@@ -215,20 +405,20 @@ class MultiHopRunner:
     def run(self) -> MultiHopResult:
         """Simulate all periods; returns the result bundle."""
         spec = self.spec
+        if self.n >= 2 and spec.topology.is_complete():
+            return self._run_degenerate()
+        self._churn_applier = ChurnApplier(self._merged_churn())
         for period in range(1, spec.periods + 1):
-            self._apply_churn(period)
-            transmissions = self._collect_transmissions(period)
-            receptions = self._resolve_receptions(transmissions)
-            accepted = self._process_receptions(period, receptions)
-            self._end_period(period, accepted)
-            self._sample_metrics(period)
+            self._run_period(period)
         per_hop = {
             hop: float(np.median(values))
             for hop, values in sorted(self._per_hop_errors.items())
         }
-        hop_of = self.spec.topology.hop_distances(self.root)
+        hop_of = (
+            spec.topology.hop_distances(self.root) if self.root >= 0 else {}
+        )
         return MultiHopResult(
-            trace=self._recorder.finalize(),
+            trace=self.recorder.finalize(),
             per_hop_error_us=per_hop,
             hop_of=hop_of,
             root=self.root,
@@ -237,20 +427,146 @@ class MultiHopRunner:
             collisions_at_receivers=self.collisions,
         )
 
+    def _run_period(self, period: int) -> None:
+        self._apply_churn(period)
+        if self.injector is not None:
+            self.injector.on_period_start(period)
+            stalled = self.injector.stalled_ids(period)
+            partition = self.injector.partition_groups(period)
+        else:
+            stalled: frozenset = frozenset()
+            partition = None
+        # A crashed root orphans the tree exactly like a departed one.
+        if self.root >= 0 and not self._by_id[self.root].present:
+            self.root = -1
+        transmissions = self._collect_transmissions(period, stalled, partition)
+        receptions = self._resolve_receptions(transmissions, stalled, partition)
+        accepted = self._process_receptions(period, receptions)
+        self._end_period(period, accepted, stalled)
+        self._sample_metrics(period)
+        if self.injector is not None:
+            self.injector.on_period_end(period)
+
+    # ------------------------------------------------------------------
+    # Degenerate (complete-graph) delegation
+    # ------------------------------------------------------------------
+
+    def _run_degenerate(self) -> MultiHopResult:
+        """Run a complete-graph spec on the single-hop reference lane."""
+        spec = self.spec
+        scenario, config = degenerate_scenario(spec)
+        inner = build_sstsp_network(scenario, config=config)
+        # Keep the full clock matrix: per-hop errors are reconstructed
+        # from it after the run.
+        inner.params = replace(inner.params, keep_values=True)
+        inner.recorder = TraceRecorder(keep_values=True)
+        merged = self._merged_churn()
+        if len(merged):
+            inner.set_churn(merged)
+        if self.injector is not None:
+            inner.attach_injector(self.injector)
+        result = inner.run()
+        # Re-expose the inner kernel surface so post-run inspection
+        # (chaos invariants, fault logs) sees the network that actually ran.
+        self.nodes = inner.nodes
+        self._by_id = inner._by_id
+        self.channel = inner.channel  # type: ignore[assignment]
+        self.params = inner.params
+        self._events = inner._events
+
+        trace = result.trace
+        ref_ids = trace.reference_ids
+        valid = ref_ids[ref_ids >= 0]
+        final_root = int(valid[-1]) if valid.size else -1
+        hop_of = (
+            spec.topology.hop_distances(final_root) if final_root >= 0 else {}
+        )
+        per_hop_samples: Dict[int, List[float]] = {}
+        if trace.values_us is not None and final_root >= 0:
+            half = spec.periods // 2
+            for idx in range(len(trace)):
+                if idx + 1 <= half:  # mirror "period > periods // 2"
+                    continue
+                rid = int(ref_ids[idx])
+                if rid < 0:
+                    continue
+                row = trace.values_us[idx]
+                root_value = row[rid]
+                if math.isnan(root_value):
+                    continue
+                for col in range(row.shape[0]):
+                    hop = hop_of.get(col)
+                    if hop is None or hop == 0:
+                        continue
+                    value = row[col]
+                    if math.isnan(value):
+                        continue
+                    per_hop_samples.setdefault(hop, []).append(
+                        abs(value - root_value)
+                    )
+        per_hop = {
+            hop: float(np.median(values))
+            for hop, values in sorted(per_hop_samples.items())
+        }
+        self.root = final_root
+        self.root_changes = trace.reference_changes()
+        self.beacons_sent = result.successful_beacons
+        self.collisions = inner.channel.stats.collisions
+        return MultiHopResult(
+            trace=trace,
+            per_hop_error_us=per_hop,
+            hop_of=hop_of,
+            root=final_root,
+            root_changes=self.root_changes,
+            beacons_sent=self.beacons_sent,
+            collisions_at_receivers=self.collisions,
+        )
+
+    # ------------------------------------------------------------------
+    # Churn
+    # ------------------------------------------------------------------
+
+    def _merged_churn(self) -> ChurnSchedule:
+        """The spec's schedule plus the runner's leave_at/return_at dicts."""
+        schedule = self.spec.churn or ChurnSchedule()
+        extra = ChurnSchedule()
+        for period in sorted(self.leave_at):
+            extra.add(ChurnEvent(period, "leave", tuple(self.leave_at[period])))
+        for period in sorted(self.return_at):
+            extra.add(ChurnEvent(period, "return", tuple(self.return_at[period])))
+        return schedule.merged_with(extra)
+
+    def _apply_churn(self, period: int) -> None:
+        def is_present(node_id: int) -> Optional[bool]:
+            node = self._by_id.get(node_id)
+            return None if node is None else node.present
+
+        def leave(node_id: int) -> None:
+            node = self._by_id[node_id]
+            node.present = False
+            node.protocol.on_leave(period)
+            self._events.append(f"p{period}: node {node_id} left")
+            if node_id == self.root:
+                self.root = -1  # orphaned; hop-1 children will elect
+
+        def ret(node_id: int) -> None:
+            node = self._by_id[node_id]
+            node.present = True
+            node.protocol.on_return(period)
+            self._events.append(f"p{period}: node {node_id} returned")
+
+        assert self._churn_applier is not None
+        self._churn_applier.apply(
+            period,
+            current_reference=self.current_reference,
+            is_present=is_present,
+            leave=leave,
+            ret=ret,
+        )
+
     # ------------------------------------------------------------------
     # Phases of one period
     # ------------------------------------------------------------------
-
-    def _apply_churn(self, period: int) -> None:
-        for node in self.leave_at.get(period, []):
-            if self.present[node]:
-                self.present[node] = False
-                if node == self.root:
-                    self.root = -1  # orphaned; hop-1 children will elect
-        for node in self.return_at.get(period, []):
-            if not self.present[node]:
-                self.present[node] = True
-                self.nodes[node].reset_sync()
 
     def _relay_turn(self, node: int, period: int) -> bool:
         """Relay scheduling with deterministic same-hop rotation.
@@ -271,11 +587,12 @@ class MultiHopRunner:
         spec = self.spec
         if spec.relay_probability < 1.0:
             return self._slot_rng.random() < spec.relay_probability
-        state = self.nodes[node]
+        state = self._state(node)
         same_hop = sum(
             1
             for other in spec.topology.two_hop_neighbors(node)
-            if self.present[other] and self.nodes[other].hop == state.hop
+            if self._by_id[other].present
+            and self._state(other).hop == state.hop
         )
         if same_hop == 0:
             return True
@@ -293,14 +610,14 @@ class MultiHopRunner:
         resolving the permanent-collision cases. Phases are re-colored
         when a station's hop (and thus its conflict set) changes.
         """
-        state = self.nodes[node]
+        state = self._state(node)
         key = (node, state.hop, cycle)
         phase = self._relay_phase.get(key)
         if phase is not None:
             return phase
         used = [0] * cycle
         for other in self.spec.topology.two_hop_neighbors(node):
-            other_state = self.nodes[other]
+            other_state = self._state(other)
             if other_state.hop != state.hop:
                 continue
             other_phase = self._relay_phase.get((other, other_state.hop, cycle))
@@ -319,15 +636,21 @@ class MultiHopRunner:
             1, self.spec.hop_stride_slots - self.spec.beacon_airtime_slots
         )
 
-    def _collect_transmissions(self, period: int) -> List[_Transmission]:
+    def _collect_transmissions(
+        self,
+        period: int,
+        stalled: frozenset,
+        partition: Optional[Dict[int, int]],
+    ) -> List[_Transmission]:
         spec = self.spec
         nominal = period * spec.beacon_period_us
         out: List[_Transmission] = []
-        orphan_election = self.root < 0 or not self.present[self.root]
+        orphan_election = self.root < 0 or not self._by_id[self.root].present
         for i in range(self.n):
-            if not self.present[i]:
+            node = self._by_id[i]
+            if not node.present or i in stalled:
                 continue
-            state = self.nodes[i]
+            state = node.protocol
             if i == self.root:
                 delay = 0.0
             elif orphan_election and state.hop == 1 and state.silent >= spec.l:
@@ -346,83 +669,84 @@ class MultiHopRunner:
                 ) * spec.slot_time_us
             else:
                 continue
-            tx_true = self._true_at_adjusted(i, nominal + delay)
+            tx_true = state.chain.true_at_adjusted(nominal + delay)
             # normalized reference: the sender's clock reads exactly
             # nominal + delay at tx, so its T^j estimate is ``nominal``
             timestamp = nominal
             hop = 0 if i == self.root else (state.hop if state.hop is not None else 0)
             out.append(_Transmission(i, hop, period, tx_true, timestamp, delay))
-        return self._carrier_sense(out)
+        return self._carrier_sense(out, partition)
 
     def _carrier_sense(
-        self, candidates: List[_Transmission]
+        self,
+        candidates: List[_Transmission],
+        partition: Optional[Dict[int, int]],
     ) -> List[_Transmission]:
-        """802.11 deferral/cancellation: a relay whose backoff expires while
-        an *audible* neighbour's transmission is on the air cancels (it
-        just received that beacon). Mutually hidden transmitters still
-        collide downstream - that is physics, handled at the receivers."""
-        airtime = self.spec.beacon_airtime_slots * self.spec.slot_time_us
-        candidates.sort(key=lambda tx: tx.tx_true)
-        kept: List[_Transmission] = []
-        busy_until: Dict[int, float] = {}
-        for tx in candidates:
-            if busy_until.get(tx.sender, -math.inf) > tx.tx_true:
-                continue  # medium sensed busy: cancel this relay
-            kept.append(tx)
-            self.beacons_sent += 1
-            end = tx.tx_true + airtime
-            for neighbor in self.spec.topology.neighbors(tx.sender):
-                if end > busy_until.get(neighbor, -math.inf):
-                    busy_until[neighbor] = end
-        return kept
-
-    def _resolve_receptions(
-        self, transmissions: List[_Transmission]
-    ) -> Dict[int, List[_Transmission]]:
-        """Per-receiver spatial reception: a transmission is decoded iff no
-        other *audible* transmission overlaps it in time."""
+        """802.11 deferral/cancellation over the hearing graph: a relay
+        whose backoff expires while an *audible* neighbour's transmission
+        is on the air cancels (it just received that beacon). Mutually
+        hidden transmitters still collide downstream - that is physics,
+        handled at the receivers. A partition fault cuts hearing across
+        groups."""
         spec = self.spec
         airtime = spec.beacon_airtime_slots * spec.slot_time_us
-        by_sender: Dict[int, _Transmission] = {tx.sender: tx for tx in transmissions}
-        receptions: Dict[int, List[_Transmission]] = {}
-        per = spec.packet_error_rate
-        for receiver in range(self.n):
-            if not self.present[receiver]:
-                continue
-            audible = [
-                by_sender[s]
-                for s in self.spec.topology.neighbors(receiver)
-                if s in by_sender and self.present[s]
-            ]
-            if not audible:
-                continue
-            audible.sort(key=lambda tx: tx.tx_true)
-            decoded: List[_Transmission] = []
-            index = 0
-            while index < len(audible):
-                group = [audible[index]]
-                end = audible[index].tx_true + airtime
-                index += 1
-                while index < len(audible) and audible[index].tx_true < end:
-                    group.append(audible[index])
-                    end = max(end, audible[index].tx_true + airtime)
-                    index += 1
-                if len(group) == 1:
-                    if per <= 0.0 or self._chan_rng.random() >= per:
-                        decoded.append(group[0])
-                else:
-                    self.collisions += 1
-            if decoded:
-                receptions[receiver] = decoded
-        return receptions
+        by_sender = {tx.sender: tx for tx in candidates}
+
+        def hears(sender: int):
+            neighbors = spec.topology.neighbors(sender)
+            if partition is None:
+                return neighbors
+            group = partition.get(sender)
+            return [n for n in neighbors if partition.get(n) == group]
+
+        result = resolve_neighborhood(
+            [(tx.sender, tx.tx_true) for tx in candidates], airtime, hears
+        )
+        self.beacons_sent += len(result.kept)
+        return [by_sender[sender] for sender, _start in result.kept]
+
+    def _resolve_receptions(
+        self,
+        transmissions: List[_Transmission],
+        stalled: frozenset,
+        partition: Optional[Dict[int, int]],
+    ) -> Dict[int, List[_Transmission]]:
+        """Per-receiver spatial reception through the shared channel."""
+        spec = self.spec
+        airtime = spec.beacon_airtime_slots * spec.slot_time_us
+        by_sender = {tx.sender: tx for tx in transmissions}
+        receivers = [
+            i
+            for i in range(self.n)
+            if self._by_id[i].present and i not in stalled
+        ]
+        audible = None
+        if partition is not None:
+            groups = partition
+
+            def audible(receiver: int, sender: int) -> bool:
+                return groups.get(receiver) == groups.get(sender)
+
+        delivery = self.channel.deliver_window(
+            [(tx.sender, tx.tx_true) for tx in transmissions],
+            receivers,
+            airtime,
+            size_bytes=SSTSP_BEACON_BYTES,
+            audible=audible,
+        )
+        self.collisions += delivery.collisions
+        return {
+            receiver: [by_sender[s] for s in senders]
+            for receiver, senders in delivery.receptions.items()
+        }
 
     def _process_receptions(
         self, period: int, receptions: Dict[int, List[_Transmission]]
-    ) -> set:
+    ) -> Set[int]:
         """Returns the set of receivers that *accepted* a beacon (decoded,
         interval-fresh and guard-passing) - the input to silence tracking."""
         spec = self.spec
-        accepted: set = set()
+        accepted: Set[int] = set()
         latency = (
             spec.beacon_airtime_slots * spec.slot_time_us
             + spec.propagation_delay_us
@@ -431,7 +755,7 @@ class MultiHopRunner:
             if receiver == self.root:
                 accepted.add(receiver)
                 continue
-            state = self.nodes[receiver]
+            state = self._state(receiver)
             # Upstream selection: stick with the current upstream whenever
             # its beacon decoded (switching resets the sample history);
             # switch only to a strictly better hop, or when the current
@@ -450,11 +774,7 @@ class MultiHopRunner:
             else:
                 continue  # upstream not heard this period; stay patient
             arrival = chosen.tx_true + latency
-            jitter = float(
-                self._chan_rng.uniform(
-                    -spec.timestamp_jitter_us, spec.timestamp_jitter_us
-                )
-            )
+            jitter = self.channel.sample_timestamp_error()
             # normalise out the sender's deterministic schedule delay (see
             # _Transmission): both sides of the sample sit on the BP grid
             hw = self._hw_at(receiver, arrival) - chosen.delay_us
@@ -464,7 +784,7 @@ class MultiHopRunner:
                 # first contact: loose initialisation (the coarse phase of
                 # a joiner, collapsed to one sample for founding nodes that
                 # are loosely synchronized already)
-                state.clock = AdjustedClock(
+                state.chain.adjusted = AdjustedClock(
                     state.clock.k, state.clock.b + (est - local)
                 )
                 state.hop = chosen.hop + 1
@@ -505,7 +825,7 @@ class MultiHopRunner:
 
     def _try_adjust(self, receiver: int, period: int, hw_now: float) -> None:
         spec = self.spec
-        state = self.nodes[receiver]
+        state = self._state(receiver)
         if len(state.samples) < 2:
             return
         newest, older = state.samples[-1], state.samples[-2]
@@ -531,13 +851,16 @@ class MultiHopRunner:
             return
         state.adjustments += 1
 
-    def _end_period(self, period: int, accepted: set) -> None:
+    def _end_period(
+        self, period: int, accepted: Set[int], stalled: frozenset
+    ) -> None:
         spec = self.spec
         orphan_election = self.root < 0
         for i in range(self.n):
-            if not self.present[i] or i == self.root:
+            node = self._by_id[i]
+            if not node.present or i == self.root or i in stalled:
                 continue
-            state = self.nodes[i]
+            state = node.protocol
             if i not in accepted:
                 state.silent += 1
                 if state.silent > 4 * spec.l and state.upstream is not None:
@@ -554,8 +877,9 @@ class MultiHopRunner:
             candidates = [
                 i
                 for i in range(self.n)
-                if self.present[i]
-                and self.nodes[i].hop == 1
+                if self._by_id[i].present
+                and i not in stalled
+                and self._state(i).hop == 1
                 and i not in accepted
             ]
             # the transmission set for this period is gone; approximate the
@@ -563,7 +887,7 @@ class MultiHopRunner:
             if candidates:
                 winner = candidates[0]
                 self.root = winner
-                state = self.nodes[winner]
+                state = self._state(winner)
                 state.hop = 0
                 state.upstream = None
                 self.root_changes += 1
@@ -582,10 +906,11 @@ class MultiHopRunner:
         values = []
         present_synced = []
         for i in range(self.n):
-            if self.present[i] and self.nodes[i].hop is not None:
+            node = self._by_id[i]
+            if node.present and node.protocol.hop is not None:
                 values.append(self._adjusted_at(i, sample_time))
                 present_synced.append(i)
-        self._recorder.record(
+        self.recorder.record(
             sample_time, values, self.root if self.root >= 0 else -1
         )
         # per-hop error vs the root (second half of the run only)

@@ -107,6 +107,14 @@ class Topology:
         """Number of radio neighbours of ``node``."""
         return len(self._neighbors[node])
 
+    def is_complete(self) -> bool:
+        """Whether every pair of stations is connected (the degenerate
+        single-hop case: the multi-hop runner then delegates to the
+        reference IBSS lane)."""
+        return all(
+            len(self._neighbors[i]) == self.n - 1 for i in range(self.n)
+        )
+
     def is_connected(self) -> bool:
         """Whether every station can reach every other."""
         return nx.is_connected(self._graph)

@@ -12,7 +12,7 @@ reference.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Tuple
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -57,6 +57,19 @@ class ChurnSchedule:
 
     def __len__(self) -> int:
         return sum(len(v) for v in self._by_period.values())
+
+    def merged_with(self, other: "ChurnSchedule") -> "ChurnSchedule":
+        """A new schedule containing this schedule's events plus ``other``'s.
+
+        Within a period, this schedule's events come first (insertion
+        order is preserved on both sides).
+        """
+        merged = ChurnSchedule()
+        for schedule in (self, other):
+            for period in schedule.periods():
+                for event in schedule.events_for(period):
+                    merged.add(event)
+        return merged
 
     @classmethod
     def paper_default(
@@ -124,3 +137,88 @@ class ChurnSchedule:
                 # the resolved id so the same station returns.
                 schedule.add(ChurnEvent(return_period, "return", (REFERENCE_MARKER,)))
         return schedule
+
+
+class ChurnApplier:
+    """Stateful churn semantics shared by every lane.
+
+    All three engines (reference, vectorised, multihop) used to carry
+    their own copy of the same three rules; this class is the single
+    implementation:
+
+    * a ``leave`` only fires for a node that is present, a ``return``
+      only for one that is absent (double-booked events are dropped);
+    * :data:`REFERENCE_MARKER` leaves resolve to the current reference
+      at fire time and are remembered in a FIFO so the matching
+      ``return`` brings the *same* station back;
+    * a marker leave that resolves to an excluded station (e.g. an
+      attacker masquerading as reference) is dropped without consuming
+      the FIFO.
+
+    The applier owns only membership bookkeeping; what "leaving" does to
+    a node (presence flags, protocol callbacks, event logs) is supplied
+    by the caller.
+    """
+
+    def __init__(self, schedule: Optional[ChurnSchedule]) -> None:
+        self.schedule = schedule
+        self._marker_left: List[int] = []
+
+    @property
+    def marker_left(self) -> List[int]:
+        """FIFO of resolved reference ids that left and have not returned."""
+        return self._marker_left
+
+    def resolve_marker(
+        self,
+        node_id: int,
+        action: str,
+        current_reference: Callable[[], Optional[int]],
+        exclude: Optional[Callable[[int], bool]] = None,
+    ) -> Optional[int]:
+        """Resolve :data:`REFERENCE_MARKER` (a real id passes through)."""
+        if node_id != REFERENCE_MARKER:
+            return node_id
+        if action == "leave":
+            ref = current_reference()
+            if ref is None or ref < 0:
+                return None
+            if exclude is not None and exclude(ref):
+                return None
+            self._marker_left.append(ref)
+            return ref
+        if self._marker_left:
+            return self._marker_left.pop(0)
+        return None
+
+    def apply(
+        self,
+        period: int,
+        current_reference: Callable[[], Optional[int]],
+        is_present: Callable[[int], Optional[bool]],
+        leave: Callable[[int], None],
+        ret: Callable[[int], None],
+        exclude: Optional[Callable[[int], bool]] = None,
+    ) -> None:
+        """Apply the events due at ``period``.
+
+        ``is_present`` returns None for unknown node ids (the event is
+        dropped); ``leave`` / ``ret`` perform the engine-specific state
+        change for ids that pass the presence gate.
+        """
+        if self.schedule is None:
+            return
+        for event in self.schedule.events_for(period):
+            for node_id in event.node_ids:
+                resolved = self.resolve_marker(
+                    node_id, event.action, current_reference, exclude
+                )
+                if resolved is None:
+                    continue
+                present = is_present(resolved)
+                if present is None:
+                    continue
+                if event.action == "leave" and present:
+                    leave(resolved)
+                elif event.action == "return" and not present:
+                    ret(resolved)

@@ -10,6 +10,7 @@ from __future__ import annotations
 import math
 from typing import Optional
 
+from repro.clocks.chain import invert_affine_fixed_point
 from repro.clocks.oscillator import HardwareClock, TsfTimer
 from repro.protocols.base import ClockKind, SyncProtocol, TxIntent
 
@@ -49,17 +50,14 @@ class Node:
         if intent.clock is ClockKind.HARDWARE:
             return self.hw.true_time_at(intent.local_time)
         # ClockKind.ADJUSTED: find hw with synchronized_time(hw) == local.
-        target = intent.local_time
-        hw_guess = target
-        for _ in range(12):
-            error = target - self.protocol.synchronized_time(hw_guess)
-            if abs(error) < 1e-4:
-                break
-            hw_guess += error
-        else:  # pragma: no cover - pathological slope
+        try:
+            hw_guess = invert_affine_fixed_point(
+                self.protocol.synchronized_time, intent.local_time
+            )
+        except ArithmeticError as exc:  # pragma: no cover - pathological slope
             raise ArithmeticError(
                 f"clock inversion did not converge for node {self.node_id}"
-            )
+            ) from exc
         true_time = self.hw.true_time_at(hw_guess)
         if math.isnan(true_time) or math.isinf(true_time):
             raise ArithmeticError(f"invalid scheduled time for node {self.node_id}")

@@ -34,8 +34,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.faults.injector import FaultInjector
 
 from repro.analysis.metrics import TraceRecorder, SyncTrace
-from repro.mac.contention import ContentionResult, resolve_contention
-from repro.network.churn import ChurnSchedule, REFERENCE_MARKER
+from repro.mac.contention import ContentionResult, partition_domains, resolve_contention
+from repro.network.churn import ChurnApplier, ChurnSchedule
 from repro.network.node import Node
 from repro.phy.channel import BroadcastChannel
 from repro.phy.params import PhyParams
@@ -117,7 +117,7 @@ class NetworkRunner:
         self.params = params
         self.churn = churn or ChurnSchedule()
         self.recorder = TraceRecorder(keep_values=params.keep_values)
-        self._marker_left: List[int] = []
+        self._churn_applier = ChurnApplier(self.churn)
         self._events: List[str] = []
         self._beacon_successes = 0
         self._windows = 0
@@ -130,6 +130,16 @@ class NetworkRunner:
         """Bind a fault injector; its hooks run every period from now on."""
         injector.bind(self)
         self.injector = injector
+
+    def set_churn(self, schedule: ChurnSchedule) -> None:
+        """Replace the churn schedule (resets the marker FIFO)."""
+        self.churn = schedule
+        self._churn_applier = ChurnApplier(schedule)
+
+    @property
+    def _marker_left(self) -> List[int]:
+        """Reference-marker FIFO (kept on the shared applier)."""
+        return self._churn_applier.marker_left
 
     # ------------------------------------------------------------------
     # Public API
@@ -195,20 +205,9 @@ class NetworkRunner:
 
         # A partition splits carrier sensing as well as delivery: each
         # group resolves its own beacon window.
-        if partition is None:
-            domains = [(candidates, [node.node_id for node in active])]
-        else:
-            domains = []
-            for group in sorted(set(partition.values())):
-                members = [
-                    node.node_id
-                    for node in active
-                    if partition.get(node.node_id) == group
-                ]
-                group_candidates = [
-                    c for c in candidates if partition.get(c[0]) == group
-                ]
-                domains.append((group_candidates, members))
+        domains = partition_domains(
+            candidates, [node.node_id for node in active], partition
+        )
 
         airtime = self.params.beacon_airtime_slots * self.phy.slot_time_us
         transmitted_ids = set()
@@ -306,39 +305,43 @@ class NetworkRunner:
     # ------------------------------------------------------------------
 
     def _apply_churn(self, period: int) -> None:
-        for event in self.churn.events_for(period):
-            for node_id in event.node_ids:
-                resolved = self._resolve_marker(node_id, event.action)
-                if resolved is None:
-                    continue
-                node = self._by_id.get(resolved)
-                if node is None:
-                    continue
-                if event.action == "leave" and node.present:
-                    node.present = False
-                    node.protocol.on_leave(period)
-                    self._events.append(f"p{period}: node {resolved} left")
-                    logger.info("churn: node %d left at period %d", resolved, period)
-                elif event.action == "return" and not node.present:
-                    node.present = True
-                    node.protocol.on_return(period)
-                    self._events.append(f"p{period}: node {resolved} returned")
-                    logger.info("churn: node %d returned at period %d", resolved, period)
+        def is_present(node_id: int) -> Optional[bool]:
+            node = self._by_id.get(node_id)
+            return None if node is None else node.present
+
+        def leave(node_id: int) -> None:
+            node = self._by_id[node_id]
+            node.present = False
+            node.protocol.on_leave(period)
+            self._events.append(f"p{period}: node {node_id} left")
+            logger.info("churn: node %d left at period %d", node_id, period)
+
+        def ret(node_id: int) -> None:
+            node = self._by_id[node_id]
+            node.present = True
+            node.protocol.on_return(period)
+            self._events.append(f"p{period}: node {node_id} returned")
+            logger.info("churn: node %d returned at period %d", node_id, period)
+
+        self._churn_applier.apply(
+            period,
+            current_reference=self.current_reference,
+            is_present=is_present,
+            leave=leave,
+            ret=ret,
+            exclude=self._attacker_squats_reference,
+        )
+
+    def _attacker_squats_reference(self, ref: int) -> bool:
+        # The "reference" is an attacker squatting on the role; the churn
+        # scenario removes legitimate stations only.
+        node = self._by_id.get(ref)
+        return node is not None and not node.include_in_metrics
 
     def _resolve_marker(self, node_id: int, action: str) -> Optional[int]:
-        if node_id != REFERENCE_MARKER:
-            return node_id
-        if action == "leave":
-            ref = self.current_reference()
-            if ref < 0:
-                return None
-            node = self._by_id.get(ref)
-            if node is not None and not node.include_in_metrics:
-                # the "reference" is an attacker squatting on the role; the
-                # churn scenario removes legitimate stations only
-                return None
-            self._marker_left.append(ref)
-            return ref
-        if self._marker_left:
-            return self._marker_left.pop(0)
-        return None
+        return self._churn_applier.resolve_marker(
+            node_id,
+            action,
+            self.current_reference,
+            exclude=self._attacker_squats_reference,
+        )

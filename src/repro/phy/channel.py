@@ -1,12 +1,22 @@
-"""Single-hop broadcast channel with per-receiver loss and jamming.
+"""Broadcast channels with loss, jamming and (spatially) collisions.
 
-Collisions are resolved *before* delivery by the MAC contention cascade
+For the single-hop IBSS (:class:`BroadcastChannel`) collisions are
+resolved *before* delivery by the MAC contention cascade
 (:mod:`repro.mac.contention`); the channel's job is the per-receiver fate
 of an un-collided transmission: a packet-error draw per receiver or per
 transmission (including the Gilbert-Elliott burst-loss chain), suppression
 during jamming windows, and bookkeeping for the traffic-overhead model.
 
-Fault injection (:mod:`repro.faults`) can additionally force a temporary
+:class:`SpatialBroadcastChannel` extends this to a radio topology: a
+receiver hears exactly its graph neighbours, and two audible frames that
+overlap in time collide *at that receiver only* (hidden terminals). The
+multi-hop lane delivers its whole beacon window through
+:meth:`SpatialBroadcastChannel.deliver_window`, which is what gives it
+the same loss models, jam windows and fault overrides as the single-hop
+lane — plus per-link error overrides and receiver-scoped jamming that a
+spatial network additionally supports.
+
+Fault injection (:mod:`repro.faults`) can force a temporary
 per-transmission loss probability (:meth:`BroadcastChannel.set_per_override`)
 to model loss bursts independent of the configured loss model.
 """
@@ -14,12 +24,25 @@ to model loss bursts independent of the configured loss model.
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
 from repro.phy.params import PhyParams
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.multihop.topology import Topology
 
 
 @dataclass
@@ -179,6 +202,194 @@ class BroadcastChannel:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"BroadcastChannel(stats={self.stats})"
+
+
+@dataclass
+class WindowDelivery:
+    """Outcome of one spatial beacon window.
+
+    Attributes
+    ----------
+    receptions:
+        Receiver id -> sender ids whose frames it decoded, in
+        transmission-time order.
+    collisions:
+        Number of receiver-side collision groups (two or more audible
+        frames overlapping at one receiver).
+    """
+
+    receptions: Dict[int, List[int]] = field(default_factory=dict)
+    collisions: int = 0
+
+
+class SpatialBroadcastChannel(BroadcastChannel):
+    """Topology-aware broadcast channel for the multi-hop lane.
+
+    A receiver hears exactly its graph neighbours; collision grouping is
+    therefore *per receiver* (hidden terminals garble each other at a
+    common neighbour even though the MAC let both transmit). Loss models,
+    jam windows and fault overrides are inherited from
+    :class:`BroadcastChannel`; two spatial-only effects are added on top:
+    per-link error overrides (:meth:`set_link_per`) and receiver-scoped
+    jam windows (:meth:`add_jam_window` with ``receivers``).
+    """
+
+    def __init__(
+        self,
+        phy: PhyParams,
+        rng: np.random.Generator,
+        topology: "Topology",
+    ) -> None:
+        super().__init__(phy, rng)
+        self.topology = topology
+        self._neighbor_sets: Dict[int, FrozenSet[int]] = {
+            node: frozenset(topology.neighbors(node)) for node in range(topology.n)
+        }
+        self._link_per: Dict[Tuple[int, int], float] = {}
+        self._scoped_jams: List[Tuple[float, float, FrozenSet[int]]] = []
+
+    def set_link_per(
+        self, sender: int, receiver: int, per: Optional[float]
+    ) -> None:
+        """Override the packet-error rate of one directed link
+        (``None`` restores the channel-wide model for that link)."""
+        if per is None:
+            self._link_per.pop((sender, receiver), None)
+            return
+        if not 0.0 <= per <= 1.0:
+            raise ValueError("link per must be in [0, 1] or None")
+        self._link_per[(sender, receiver)] = float(per)
+
+    def add_jam_window(
+        self,
+        start_us: float,
+        end_us: float,
+        receivers: Optional[Iterable[int]] = None,
+    ) -> None:
+        """Jam ``[start_us, end_us)``; with ``receivers`` given, only
+        those stations are deafened (a localised jammer), otherwise the
+        whole network is (matching the single-hop channel)."""
+        if receivers is None:
+            super().add_jam_window(start_us, end_us)
+            return
+        if end_us <= start_us:
+            raise ValueError("jam window must have end > start")
+        self._scoped_jams.append(
+            (float(start_us), float(end_us), frozenset(receivers))
+        )
+
+    def _jammed_for(self, receiver: int, true_time: float) -> bool:
+        if self.is_jammed(true_time):
+            return True
+        for start, end, targets in self._scoped_jams:
+            if start <= true_time < end and receiver in targets:
+                return True
+        return False
+
+    def deliver_window(
+        self,
+        transmissions: Sequence[Tuple[int, float]],
+        receivers: Sequence[int],
+        airtime_us: float,
+        size_bytes: int = 0,
+        audible: Optional[Callable[[int, int], bool]] = None,
+    ) -> WindowDelivery:
+        """Resolve one beacon window's receiver-side fates.
+
+        Parameters
+        ----------
+        transmissions:
+            ``(sender, start_true_time)`` of every frame that went on air
+            (the MAC's :func:`repro.mac.contention.resolve_neighborhood`
+            output), in start-time order.
+        receivers:
+            Stations listening this window (callers pass them in
+            ascending id order — the draw order contract).
+        airtime_us:
+            Frame airtime (defines receiver-side overlap).
+        size_bytes:
+            Frame size, accounted once per transmission.
+        audible:
+            Optional extra gate ``(receiver, sender) -> bool`` applied on
+            top of the topology (partition faults cut links this way).
+
+        Per receiver, audible frames are grouped by time overlap: a group
+        of two or more is a collision (nothing decodes, no loss draw); a
+        lone frame survives jamming and one loss draw. With the default
+        ``per_receiver`` loss model the draw happens per (receiver,
+        frame); ``per_transmission`` / Gilbert-Elliott models and the
+        fault-injection override draw one whole-frame fate per
+        transmission, exactly like :meth:`BroadcastChannel.broadcast`.
+        """
+        if airtime_us <= 0:
+            raise ValueError("airtime_us must be > 0")
+        self.stats.transmissions += len(transmissions)
+        self.stats.bytes_on_air += size_bytes * len(transmissions)
+
+        # Whole-frame fates (one draw per transmission, in time order)
+        # when the loss model or a fault override calls for them.
+        frame_delivered: Optional[Dict[int, bool]] = None
+        if self._per_override is not None or self.phy.loss_model != "per_receiver":
+            frame_delivered = {}
+            for sender, _start in transmissions:
+                if self._per_override is not None:
+                    per = self._per_override
+                elif self.phy.loss_model == "gilbert_elliott":
+                    per = self._gilbert_elliott_per()
+                else:
+                    per = self.phy.packet_error_rate
+                frame_delivered[sender] = (
+                    True if per <= 0.0 else bool(self._rng.random() >= per)
+                )
+
+        delivery = WindowDelivery()
+        static_per = self.phy.packet_error_rate
+        for receiver in receivers:
+            hears = self._neighbor_sets.get(receiver, frozenset())
+            heard = [
+                (sender, start)
+                for sender, start in transmissions
+                if sender in hears
+                and (audible is None or audible(receiver, sender))
+            ]
+            if not heard:
+                continue
+            heard.sort(key=lambda item: item[1])
+            decoded: List[int] = []
+            index = 0
+            while index < len(heard):
+                group_end = heard[index][1] + airtime_us
+                j = index + 1
+                while j < len(heard) and heard[j][1] < group_end:
+                    group_end = max(group_end, heard[j][1] + airtime_us)
+                    j += 1
+                group = heard[index:j]
+                index = j
+                if len(group) > 1:
+                    delivery.collisions += 1
+                    self.stats.collisions += 1
+                    continue
+                sender, start = group[0]
+                if self._jammed_for(receiver, start):
+                    self.stats.jammed_drops += 1
+                    continue
+                link = self._link_per.get((sender, receiver))
+                if link is not None:
+                    ok = link <= 0.0 or bool(self._rng.random() >= link)
+                elif frame_delivered is not None:
+                    ok = frame_delivered[sender]
+                else:
+                    ok = static_per <= 0.0 or bool(
+                        self._rng.random() >= static_per
+                    )
+                if ok:
+                    self.stats.deliveries += 1
+                    decoded.append(sender)
+                else:
+                    self.stats.per_drops += 1
+            if decoded:
+                delivery.receptions[receiver] = decoded
+        return delivery
 
 
 def merge_stats(stats: Iterable[ChannelStats]) -> ChannelStats:

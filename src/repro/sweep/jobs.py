@@ -35,6 +35,8 @@ _REGISTRY: Dict[str, str] = {
     "ablation_m": "repro.experiments.ablations:job_m_point",
     # one randomized chaos plan -> PlanOutcome
     "chaos_plan": "repro.experiments.chaos:job_chaos_plan",
+    # one multi-hop scenario -> flat summary payload
+    "multihop_run": "repro.experiments.multihop:job_multihop_run",
 }
 
 

@@ -14,10 +14,17 @@ and one with the paper churn pattern whose reference departs at 300 s
 
 from __future__ import annotations
 
+from dataclasses import replace
+
+import numpy as np
 import pytest
 
+from repro.analysis.metrics import TraceRecorder
 from repro.fastlane import run_sstsp_vectorized
-from repro.network.ibss import ScenarioSpec, build_network
+from repro.multihop.runner import MultiHopSpec, degenerate_scenario, run_multihop
+from repro.multihop.topology import Topology
+from repro.network.churn import REFERENCE_MARKER, ChurnEvent, ChurnSchedule
+from repro.network.ibss import ScenarioSpec, build_network, build_sstsp_network
 
 #: The shared scenarios: (id, spec, relative tail tolerance).
 SCENARIOS = [
@@ -74,3 +81,69 @@ def test_churn_scenario_actually_reelects():
     vec = run_sstsp_vectorized(spec)
     assert vec.trace.reference_changes() >= 1
     assert any("left" in event for event in vec.events)
+
+
+def _run_reference_lane(spec: MultiHopSpec):
+    """The single-hop lane built exactly as the multi-hop delegation does."""
+    scenario, config = degenerate_scenario(spec)
+    runner = build_sstsp_network(scenario, config=config)
+    runner.params = replace(runner.params, keep_values=True)
+    runner.recorder = TraceRecorder(keep_values=True)
+    if spec.churn is not None and len(spec.churn):
+        runner.set_churn(spec.churn)
+    return runner.run()
+
+
+class TestMultiHopDegenerateParity:
+    """A complete-graph multi-hop spec must reproduce the single-hop
+    lane's decisions *exactly*: same reference elections, same per-period
+    adjustment trace. The multi-hop runner delegates through
+    :func:`degenerate_scenario`, so any drift between the lanes (RNG
+    stream names, protocol constants, churn plumbing) breaks bit-parity
+    here."""
+
+    def test_complete_graph_matches_reference_lane(self):
+        spec = MultiHopSpec(
+            topology=Topology.full_mesh(14), seed=3, duration_s=20.0
+        )
+        mh = run_multihop(spec)
+        ref = _run_reference_lane(spec)
+        # Election decisions: identical winner per period.
+        assert np.array_equal(
+            mh.trace.reference_ids, ref.trace.reference_ids
+        ), "lanes disagree on reference election"
+        # Adjustment decisions: the per-period max-offset trace is the
+        # same runner under the hood, so it must match to the float.
+        assert np.allclose(
+            mh.trace.max_diff_us, ref.trace.max_diff_us, rtol=0.0, atol=1e-9
+        )
+        assert mh.root_changes == ref.trace.reference_changes()
+        assert mh.beacons_sent == ref.successful_beacons
+        # All stations sit at hop 1 from the elected root.
+        assert mh.max_hop() == 1
+        assert mh.trace.steady_state_error_us() < 10.0
+
+    def test_complete_graph_with_churn_matches_reference_lane(self):
+        churn = ChurnSchedule(
+            (
+                ChurnEvent(60, "leave", (REFERENCE_MARKER,)),
+                ChurnEvent(120, "return", (REFERENCE_MARKER,)),
+            )
+        )
+        spec = MultiHopSpec(
+            topology=Topology.full_mesh(10),
+            seed=5,
+            duration_s=30.0,
+            churn=churn,
+        )
+        mh = run_multihop(spec)
+        ref = _run_reference_lane(spec)
+        assert np.array_equal(mh.trace.reference_ids, ref.trace.reference_ids)
+        assert np.allclose(
+            mh.trace.max_diff_us, ref.trace.max_diff_us, rtol=0.0, atol=1e-9
+        )
+        # The marker departure really forces a re-election in both lanes.
+        assert mh.root_changes == ref.trace.reference_changes() >= 1
+        assert mh.root == int(
+            ref.trace.reference_ids[ref.trace.reference_ids >= 0][-1]
+        )
