@@ -16,6 +16,8 @@ at random instants (what a sniffer would measure).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
+
 import numpy as np
 
 from repro.analysis.metrics import SyncTrace
@@ -65,7 +67,7 @@ class FhssReport:
 
 
 def evaluate_fhss(
-    trace: SyncTrace, config: FhssConfig = FhssConfig()
+    trace: SyncTrace, config: Optional[FhssConfig] = None
 ) -> FhssReport:
     """Evaluate hop alignment from a per-node clock trace.
 
@@ -75,6 +77,7 @@ def evaluate_fhss(
     ``d >= dwell`` means never reliably aligned. Frames within
     ``frame_airtime`` of a boundary are additionally lost.
     """
+    config = config if config is not None else FhssConfig()
     if trace.values_us is None:
         raise ValueError(
             "this evaluation needs the per-node clock matrix: run with "

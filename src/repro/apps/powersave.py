@@ -18,6 +18,7 @@ energy story is the ratio of awake time to the beacon period.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -82,7 +83,7 @@ class PowerSaveReport:
 
 
 def evaluate_power_save(
-    trace: SyncTrace, config: PowerSaveConfig = PowerSaveConfig()
+    trace: SyncTrace, config: Optional[PowerSaveConfig] = None
 ) -> PowerSaveReport:
     """Evaluate IBSS power saving over a per-node clock trace.
 
@@ -91,6 +92,7 @@ def evaluate_power_save(
     difference; the worst pair per period bounds every announcement.
     Requires a trace recorded with ``keep_values=True``.
     """
+    config = config if config is not None else PowerSaveConfig()
     values = _require_values(trace)
     # worst pairwise clock difference per period == wake misalignment
     misalignment = np.nanmax(values, axis=1) - np.nanmin(values, axis=1)

@@ -16,6 +16,7 @@ comparison between two synchronization qualities.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -69,8 +70,9 @@ class TdmaReport:
         return self.min_guard_efficiency / other.min_guard_efficiency - 1.0
 
 
-def evaluate_tdma(trace: SyncTrace, config: TdmaConfig = TdmaConfig()) -> TdmaReport:
+def evaluate_tdma(trace: SyncTrace, config: Optional[TdmaConfig] = None) -> TdmaReport:
     """Size slotted-schedule guards from a measured clock trace."""
+    config = config if config is not None else TdmaConfig()
     if trace.values_us is None:
         raise ValueError(
             "this evaluation needs the per-node clock matrix: run with "

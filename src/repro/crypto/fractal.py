@@ -98,7 +98,7 @@ class FractalTraversal:
         lo, _, value = self._stack.pop()
         return lo, value
 
-    def __iter__(self):
+    def __iter__(self) -> "FractalTraversal":
         return self
 
     def __next__(self) -> Tuple[int, bytes]:

@@ -19,7 +19,7 @@ function's preimage resistance; the key must never sign twice.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -119,7 +119,7 @@ class AuthenticatedRegistry:
 
     def __init__(self) -> None:
         self._public_keys: dict = {}
-        self._anchors: dict = {}
+        self._anchors: Dict[int, Tuple[bytes, int]] = {}
 
     def enroll(self, node_id: int, public_key: LamportPublicKey) -> None:
         """Pre-distribute a station's Lamport public key (trusted step)."""
@@ -146,7 +146,7 @@ class AuthenticatedRegistry:
             raise ValueError(f"node {node_id} attempted to swap its anchor")
         self._anchors[node_id] = (bytes(anchor), int(length))
 
-    def lookup(self, node_id: int):
+    def lookup(self, node_id: int) -> Optional[Tuple[bytes, int]]:
         """``(anchor, length)`` or None."""
         return self._anchors.get(node_id)
 

@@ -53,10 +53,15 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all"],
-        help="which table/figure to regenerate",
+        choices=sorted(EXPERIMENTS) + ["all", "lint"],
+        help="which table/figure to regenerate ('lint' runs reprolint, "
+        "the determinism/unit-safety static analysis)",
     )
     args, passthrough = parser.parse_known_args(argv)
+    if args.experiment == "lint":
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(passthrough)
     if args.experiment == "all":
         for name in (
             "fig1", "fig2", "table1", "fig3", "fig4",

@@ -67,7 +67,7 @@ def main(argv=None) -> None:
     print("=== Related work (paper section 2), head to head ===")
     for n in n_values:
         table = []
-        ordered = sorted(PROTOCOLS, key=lambda p: rows[p][n].steady_us)
+        ordered = sorted(PROTOCOLS, key=lambda p, n=n: rows[p][n].steady_us)
         for name in ordered:
             row = rows[name][n]
             table.append(

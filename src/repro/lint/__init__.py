@@ -1,0 +1,52 @@
+"""reprolint: determinism & unit-safety static analysis for the kernel.
+
+Every guarantee this reproduction makes — the Lemma-1/Lemma-2 error
+bounds, byte-identical sweep CSVs at any worker count, bit-parity
+between the OO, vectorized and multi-hop lanes — rests on the simulation
+kernel being deterministic and unit-consistent. Ordinary tests only
+catch a determinism regression when it happens to flip an asserted
+value; unseeded randomness, a wall-clock read, or an unordered ``set``
+iteration in a result-affecting path usually corrupts results *silently*.
+
+This package is an AST-based static analysis suite targeting exactly
+those failure modes. It is pure stdlib (no third-party dependencies) so
+it can run anywhere the interpreter runs, including minimal CI jobs:
+
+``python -m repro.lint [paths]``
+    Lint files or directories (default: ``src/repro``); exit 1 on
+    findings, 0 when clean.
+
+Rules carry stable codes (``D001``–``D006``, see
+:data:`repro.lint.rules.RULES`), findings can be suppressed per line
+with ``# reprolint: disable=Dxxx`` pragmas, and a JSON baseline file can
+grandfather existing findings while gating new ones
+(:mod:`repro.lint.diagnostics`). ``docs/static-analysis.md`` documents
+each rule and the suppression policy.
+"""
+
+from __future__ import annotations
+
+from repro.lint.diagnostics import (
+    Baseline,
+    Diagnostic,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.engine import lint_file, lint_paths, package_relative
+from repro.lint.rules import RULES, FileContext, LintConfig, Rule
+
+__all__ = [
+    "Baseline",
+    "Diagnostic",
+    "FileContext",
+    "LintConfig",
+    "RULES",
+    "Rule",
+    "apply_baseline",
+    "lint_file",
+    "lint_paths",
+    "load_baseline",
+    "package_relative",
+    "write_baseline",
+]

@@ -1,0 +1,110 @@
+"""Command-line front end: ``python -m repro.lint [paths]``.
+
+Exit codes follow lint convention: ``0`` clean (or after
+``--write-baseline``), ``1`` findings remain, ``2`` usage error.
+
+Examples
+--------
+::
+
+    python -m repro.lint                     # lint src/repro
+    python -m repro.lint src/repro/sweep     # one subpackage
+    python -m repro.lint --list-rules        # what each Dxxx means
+    python -m repro.lint --baseline .reprolint-baseline.json \
+        --write-baseline                     # grandfather current findings
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import textwrap
+from pathlib import Path
+from typing import List, Optional
+
+from repro.lint.diagnostics import apply_baseline, load_baseline, write_baseline
+from repro.lint.engine import expand_paths, lint_paths
+from repro.lint.rules import RULES
+
+#: Linted when no paths are given, resolved against the cwd.
+DEFAULT_TARGET = "src/repro"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The reprolint argument parser (shared with the ``lint`` subcommand)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Determinism & unit-safety lint for the simulation kernel.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help=f"files or directories to lint (default: {DEFAULT_TARGET})",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        metavar="FILE",
+        help="JSON baseline of grandfathered findings; matching findings "
+        "are suppressed (one per baseline entry)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings to --baseline and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="describe every rule code and exit",
+    )
+    return parser
+
+
+def _print_rules() -> None:
+    for rule in RULES:
+        print(f"{rule.code}  {rule.title}")
+        print(textwrap.indent(textwrap.fill(rule.rationale, width=74), "      "))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run the linter; return the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        _print_rules()
+        return 0
+
+    paths: List[Path] = args.paths or [Path(DEFAULT_TARGET)]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        parser.error(f"no such path: {', '.join(map(str, missing))}")
+    if args.write_baseline and args.baseline is None:
+        parser.error("--write-baseline requires --baseline FILE")
+
+    findings = lint_paths(paths)
+    checked = len(expand_paths(paths))
+
+    if args.write_baseline:
+        write_baseline(args.baseline, findings)
+        print(
+            f"reprolint: wrote baseline with {len(findings)} finding(s) "
+            f"to {args.baseline}",
+            file=sys.stderr,
+        )
+        return 0
+
+    if args.baseline is not None:
+        if not args.baseline.exists():
+            parser.error(f"baseline file not found: {args.baseline}")
+        findings = apply_baseline(findings, load_baseline(args.baseline))
+
+    for diag in findings:
+        print(diag.render())
+    if findings:
+        print(f"reprolint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print(f"reprolint: clean ({checked} files)", file=sys.stderr)
+    return 0

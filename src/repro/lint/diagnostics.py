@@ -1,0 +1,112 @@
+"""Diagnostic records and baseline files.
+
+A :class:`Diagnostic` is one finding: a file position plus a stable rule
+code and message. Baselines grandfather pre-existing findings so the
+gate "no *new* findings" can be enforced before the backlog reaches
+zero: a baseline is a JSON multiset of ``(path, code, message)`` keys —
+deliberately *line-independent*, so editing unrelated parts of a file
+does not churn it — and suppression consumes one baseline entry per
+matching finding, which means a *second* occurrence of a grandfathered
+finding still fails the gate.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Counter as CounterT
+from typing import Iterable, List, Tuple
+
+#: The line-independent identity a baseline stores per finding.
+BaselineKey = Tuple[str, str, str]
+
+#: A multiset of grandfathered findings (key -> remaining count).
+Baseline = CounterT[BaselineKey]
+
+_BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding at a file position.
+
+    Attributes
+    ----------
+    path:
+        The linted file, as given to the engine (posix separators).
+    line, col:
+        1-based line and 0-based column of the offending node.
+    code:
+        Stable rule code (``D001`` … ``D006``; ``D000`` for files the
+        engine could not parse).
+    message:
+        Human-readable description. Stable for a given construct — it
+        never embeds line numbers — so it can key a baseline entry.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        """The canonical one-line ``path:line:col: CODE message`` form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def baseline_key(self) -> BaselineKey:
+        """Line-independent identity used for baseline matching."""
+        return (self.path, self.code, self.message)
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Read a baseline file written by :func:`write_baseline`.
+
+    Raises ``ValueError`` on a malformed or wrong-version file — a
+    silently ignored baseline would disable the gate it implements.
+    """
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or data.get("version") != _BASELINE_VERSION:
+        raise ValueError(f"unsupported baseline file {path}")
+    baseline: Baseline = Counter()
+    for entry in data.get("entries", []):
+        key = (str(entry["path"]), str(entry["code"]), str(entry["message"]))
+        baseline[key] += int(entry.get("count", 1))
+    return baseline
+
+
+def write_baseline(path: Path, diagnostics: Iterable[Diagnostic]) -> None:
+    """Write the baseline that grandfathers exactly ``diagnostics``.
+
+    Entries are sorted and counted so the file is deterministic for a
+    given finding set and diffs minimally under edits.
+    """
+    counts: Baseline = Counter(d.baseline_key() for d in diagnostics)
+    entries = [
+        {"path": p, "code": c, "message": m, "count": n}
+        for (p, c, m), n in sorted(counts.items())
+    ]
+    payload = {"version": _BASELINE_VERSION, "entries": entries}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+
+
+def apply_baseline(
+    diagnostics: Iterable[Diagnostic], baseline: Baseline
+) -> List[Diagnostic]:
+    """Return the findings *not* covered by ``baseline``.
+
+    Multiset semantics: each baseline entry absorbs at most ``count``
+    matching findings, so regressions that duplicate a grandfathered
+    finding are still reported.
+    """
+    remaining = Counter(baseline)
+    fresh: List[Diagnostic] = []
+    for diag in diagnostics:
+        key = diag.baseline_key()
+        if remaining[key] > 0:
+            remaining[key] -= 1
+        else:
+            fresh.append(diag)
+    return fresh

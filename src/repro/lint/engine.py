@@ -1,0 +1,147 @@
+"""The reprolint engine: file walking, pragmas, and rule dispatch.
+
+The engine parses each file once with :mod:`ast`, hands the tree to
+every rule in :data:`repro.lint.rules.RULES`, and filters the findings
+through suppression pragmas. Directory arguments expand to their
+``*.py`` files in sorted order, so output order — and therefore baseline
+files and CI logs — is deterministic (the engine holds itself to its
+own D003 rule).
+
+Suppression pragmas are comments anywhere on a line::
+
+    value = hashlib.sha256(key)  # reprolint: disable=D006 -- cache key, not crypto
+    # reprolint: disable-next=D004
+    if t_us == previous_us: ...
+    # reprolint: disable-file=D003
+
+``disable`` suppresses the listed codes on its own line,
+``disable-next`` on the following line, ``disable-file`` everywhere in
+the file. Justification prose after the codes is encouraged and ignored
+by the parser.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.rules import RULES, FileContext, LintConfig, Rule, build_aliases
+
+_PRAGMA_RE = re.compile(
+    r"#\s*reprolint:\s*(disable(?:-next|-file)?)\s*=\s*"
+    r"([A-Za-z]\d+(?:\s*,\s*[A-Za-z]\d+)*)"
+)
+
+
+def package_relative(path: Path) -> str:
+    """The path of ``path`` relative to its enclosing ``repro`` package.
+
+    ``src/repro/sim/rng.py`` maps to ``"sim/rng.py"`` — the coordinate
+    system every :class:`~repro.lint.rules.LintConfig` allowlist uses.
+    Files outside any ``repro`` directory map to their bare filename,
+    which never collides with an allowlist entry (those all contain a
+    directory component or a distinctive name).
+    """
+    parts = path.parts
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return "/".join(parts[index + 1 :])
+    return path.name
+
+
+def _parse_pragmas(source: str) -> Tuple[Dict[int, Set[str]], Set[str]]:
+    """Extract suppression pragmas: (line -> codes, file-wide codes)."""
+    per_line: Dict[int, Set[str]] = {}
+    file_wide: Set[str] = set()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        for match in _PRAGMA_RE.finditer(text):
+            kind = match.group(1)
+            codes = {c.strip().upper() for c in match.group(2).split(",")}
+            if kind == "disable":
+                per_line.setdefault(lineno, set()).update(codes)
+            elif kind == "disable-next":
+                per_line.setdefault(lineno + 1, set()).update(codes)
+            else:  # disable-file
+                file_wide.update(codes)
+    return per_line, file_wide
+
+
+def lint_file(
+    path: Path,
+    config: Optional[LintConfig] = None,
+    rules: Sequence[Rule] = RULES,
+) -> List[Diagnostic]:
+    """Lint one file; return its findings sorted by position then code.
+
+    Unparseable files yield a single ``D000`` diagnostic (suppressible
+    like any other code, though fixing the file is the real answer).
+    """
+    config = config or LintConfig()
+    path_str = path.as_posix()
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=path_str)
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                path_str,
+                exc.lineno or 1,
+                (exc.offset or 1) - 1,
+                "D000",
+                f"file does not parse: {exc.msg}",
+            )
+        ]
+    ctx = FileContext(
+        path=path_str,
+        rel=package_relative(path),
+        tree=tree,
+        config=config,
+        aliases=build_aliases(tree),
+    )
+    findings: List[Diagnostic] = []
+    for rule in rules:
+        findings.extend(rule.check(ctx))
+    per_line, file_wide = _parse_pragmas(source)
+    kept = [
+        d
+        for d in findings
+        if d.code not in file_wide and d.code not in per_line.get(d.line, ())
+    ]
+    return sorted(kept, key=lambda d: (d.line, d.col, d.code))
+
+
+def expand_paths(paths: Iterable[Path]) -> List[Path]:
+    """Expand directories to their ``*.py`` files, sorted; dedupe.
+
+    Explicit file arguments are kept in the order given (deduplicated);
+    each directory contributes its recursive ``*.py`` listing in sorted
+    order so results are independent of filesystem enumeration order.
+    """
+    seen: Set[Path] = set()
+    ordered: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            candidates: List[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.add(candidate)
+                ordered.append(candidate)
+    return ordered
+
+
+def lint_paths(
+    paths: Iterable[Path],
+    config: Optional[LintConfig] = None,
+    rules: Sequence[Rule] = RULES,
+) -> List[Diagnostic]:
+    """Lint files and directories; return all findings in stable order."""
+    config = config or LintConfig()
+    findings: List[Diagnostic] = []
+    for path in expand_paths(paths):
+        findings.extend(lint_file(path, config=config, rules=rules))
+    return findings

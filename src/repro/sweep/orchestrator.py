@@ -22,7 +22,7 @@ import sys
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, TextIO
+from typing import Any, Dict, Iterator, List, Optional, Sequence, TextIO
 
 from repro.sweep.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.sweep.jobs import execute_job
@@ -77,7 +77,7 @@ class SweepResult:
     values: List[Any]
     stats: SweepStats
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Any]:
         return iter(self.values)
 
 

@@ -14,7 +14,10 @@ spec itself — never of worker identity, completion order, or wall-clock.
 
 from __future__ import annotations
 
-import hashlib
+# Content-addressed cache keys and seed derivation, not a security
+# boundary: truncation/digest policy here is owned by the sweep cache
+# (salted with version+schema), not by repro.crypto.primitives.
+import hashlib  # reprolint: disable=D006 -- cache keys / seed derivation, not crypto
 import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Tuple

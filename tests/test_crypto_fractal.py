@@ -25,7 +25,8 @@ class TestFractalTraversal:
 
     def test_exhaustion_raises(self):
         trav = FractalTraversal(SEED, 2)
-        trav.next(), trav.next()
+        trav.next()
+        trav.next()
         with pytest.raises(StopIteration):
             trav.next()
 

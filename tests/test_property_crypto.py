@@ -96,7 +96,7 @@ class TestContentionProperties:
         spans = sorted(
             (tx.start_us, tx.end_us) for tx in result.transmissions
         )
-        for (s1, e1), (s2, _) in zip(spans, spans[1:]):
+        for (_s1, e1), (s2, _) in zip(spans, spans[1:]):
             assert s2 >= e1 - 1e-9
 
     @given(

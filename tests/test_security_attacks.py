@@ -41,8 +41,9 @@ class TestAttackWindow:
 
 
 class TestTsfChannelAttacker:
-    def make(self, window=AttackWindow(10, 20), **kw):
+    def make(self, window=None, **kw):
         timer = TsfTimer(HardwareClock())
+        window = window if window is not None else AttackWindow(10, 20)
         return TsfChannelAttacker(
             9, timer, TsfConfig(), np.random.default_rng(0), window=window, **kw
         )
@@ -90,7 +91,8 @@ def backend():
 
 
 class TestSstspInsiderAttacker:
-    def make(self, backend, window=AttackWindow(10, 20), **kw):
+    def make(self, backend, window=None, **kw):
+        window = window if window is not None else AttackWindow(10, 20)
         return SstspInsiderAttacker(
             9, SstspConfig(), backend, np.random.default_rng(0), window=window, **kw
         )
