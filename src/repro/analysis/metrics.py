@@ -82,7 +82,20 @@ class SyncTrace:
         return len(self.times_us)
 
     def window(self, start_us: float, end_us: float) -> "SyncTrace":
-        """The sub-trace with ``start_us <= t < end_us``."""
+        """The sub-trace with ``start_us <= t < end_us``.
+
+        Raises ValueError on an inverted/empty interval
+        (``end_us <= start_us``) — that is always a caller bug, and the
+        silently empty trace it used to yield turns into opaque numpy
+        warnings several calls later. A *valid* interval that happens to
+        contain no samples still returns an empty trace (callers probing
+        sparse regions rely on that).
+        """
+        if end_us <= start_us:
+            raise ValueError(
+                f"window requires end_us > start_us, got "
+                f"[{start_us!r}, {end_us!r})"
+            )
         mask = (self.times_us >= start_us) & (self.times_us < end_us)
         return SyncTrace(
             self.times_us[mask],
@@ -94,10 +107,22 @@ class SyncTrace:
         )
 
     def steady_state_error_us(self, skip_fraction: float = 0.25) -> float:
-        """Median max-difference after discarding the initial transient."""
-        skip = int(len(self) * skip_fraction)
-        tail = self.max_diff_us[skip:]
-        return float(np.median(tail)) if tail.size else math.nan
+        """Median max-difference after discarding the initial transient.
+
+        ``skip_fraction`` must lie in ``[0, 1)``. On short traces the
+        skip is capped so at least one sample always remains (a fraction
+        that rounded up to the whole trace used to produce a numpy
+        empty-slice warning and a silent NaN). An empty trace raises —
+        there is no steady state to report.
+        """
+        if not 0.0 <= skip_fraction < 1.0:
+            raise ValueError(
+                f"skip_fraction must be in [0, 1), got {skip_fraction!r}"
+            )
+        if not len(self):
+            raise ValueError("steady_state_error_us on an empty trace")
+        skip = min(int(len(self) * skip_fraction), len(self) - 1)
+        return float(np.median(self.max_diff_us[skip:]))
 
     def peak_error_us(self) -> float:
         """Worst max-difference over the whole trace."""

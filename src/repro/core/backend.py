@@ -30,6 +30,7 @@ from repro.crypto.hashchain import DenseHashChain, HashChainRegistry
 from repro.crypto.mutesla import IntervalSchedule, MuTeslaReceiver, MuTeslaSender, SecuredPacket
 from repro.crypto.primitives import hash128_iter
 from repro.mac.beacon import SecureBeaconFrame
+from repro.obs.events import emit
 from repro.phy.params import SSTSP_BEACON_BYTES
 
 
@@ -157,7 +158,7 @@ class FullCryptoBackend(CryptoBackend):
     ) -> BeaconVerdict:
         receiver = self._receivers.get(receiver_id)
         if receiver is None:
-            receiver = MuTeslaReceiver(self.schedule)
+            receiver = MuTeslaReceiver(self.schedule, owner=receiver_id)
             self._receivers[receiver_id] = receiver
         if not receiver.knows_sender(frame.sender):
             published = self.registry.lookup(frame.sender)
@@ -235,10 +236,28 @@ class ModeledCryptoBackend(CryptoBackend):
         if frame.sender not in self._registered:
             return BeaconVerdict(False, "unknown_sender")
         j = frame.interval
+        # Same emission points as MuTeslaReceiver.receive so a traced run
+        # reads identically under either backend.
         if j != self.schedule.interval_of(local_time_us) or not self.schedule.contains(j):
+            emit(
+                "mutesla_reject",
+                t_us=local_time_us,
+                node=receiver_id,
+                sender=frame.sender,
+                interval=j,
+                reason="unsafe_interval",
+            )
             return BeaconVerdict(False, "unsafe_interval")
         n = self.schedule.length
         if frame.disclosed_key != self._key_label(frame.sender, n - j + 1):
+            emit(
+                "mutesla_reject",
+                t_us=local_time_us,
+                node=receiver_id,
+                sender=frame.sender,
+                interval=j,
+                reason="bad_key",
+            )
             return BeaconVerdict(False, "bad_key")
         pending = self._pending.setdefault((receiver_id, frame.sender), {})
         released: List[int] = []
@@ -249,7 +268,30 @@ class ModeledCryptoBackend(CryptoBackend):
             )
             if buffered.mac_tag == expected:
                 released.append(interval)
+                emit(
+                    "mutesla_auth",
+                    t_us=local_time_us,
+                    node=receiver_id,
+                    sender=frame.sender,
+                    interval=interval,
+                )
+            else:
+                emit(
+                    "mutesla_reject",
+                    t_us=local_time_us,
+                    node=receiver_id,
+                    sender=frame.sender,
+                    interval=interval,
+                    reason="bad_mac",
+                )
         pending[j] = frame
+        emit(
+            "mutesla_defer",
+            t_us=local_time_us,
+            node=receiver_id,
+            sender=frame.sender,
+            interval=j,
+        )
         while len(pending) > self.MAX_PENDING:
             pending.pop(min(pending))
         return BeaconVerdict(True, "ok", tuple(released))

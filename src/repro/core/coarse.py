@@ -19,14 +19,16 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.core.config import SstspConfig
+from repro.obs.events import emit
 from repro.security.outliers import robust_offset_average
 
 
 class CoarseSynchronizer:
     """Offset collection and robust aggregation for one joining node."""
 
-    def __init__(self, config: SstspConfig) -> None:
+    def __init__(self, config: SstspConfig, node_id: Optional[int] = None) -> None:
         self._config = config
+        self._node_id = node_id
         self._offsets: List[float] = []
         self._periods_scanned = 0
         self.samples_rejected = 0
@@ -73,8 +75,22 @@ class CoarseSynchronizer:
             # Too few trustworthy offsets: drop the batch and keep scanning.
             self.samples_rejected += len(self._offsets)
             self.batches_retried += 1
+            emit(
+                "coarse_retry",
+                node=self._node_id,
+                samples=len(self._offsets),
+                survivors=used,
+            )
             self._offsets.clear()
             self._periods_scanned = 0
             return None
         self.samples_rejected += len(self._offsets) - used
+        # t_us deliberately absent: this layer sees offsets, not a clock.
+        emit(
+            "coarse_done",
+            node=self._node_id,
+            samples=len(self._offsets),
+            survivors=used,
+            offset_us=average,
+        )
         return average

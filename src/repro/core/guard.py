@@ -11,6 +11,9 @@ tight one (paper section 3.3; parameter discussion in [7], [8]).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.obs.events import emit, observe_value
 
 
 @dataclass
@@ -33,10 +36,14 @@ class GuardPolicy:
     ----------
     threshold_us:
         ``delta``: maximum tolerated ``|timestamp - local clock|``.
+    node_id:
+        Owning station, stamped onto emitted ``guard_reject`` events
+        (None for anonymous / test policies).
     """
 
     threshold_us: float
     stats: GuardStats = field(default_factory=GuardStats)
+    node_id: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.threshold_us <= 0:
@@ -44,11 +51,21 @@ class GuardPolicy:
 
     def check(self, est_timestamp: float, local_time: float) -> bool:
         """True when the beacon passes; counters updated either way."""
-        ok = abs(est_timestamp - local_time) <= self.threshold_us
+        diff = abs(est_timestamp - local_time)
+        ok = diff <= self.threshold_us
         if ok:
             self.stats.accepted += 1
         else:
             self.stats.rejected += 1
+            emit(
+                "guard_reject",
+                t_us=local_time,
+                node=self.node_id,
+                diff_us=diff,
+                threshold_us=self.threshold_us,
+            )
+            observe_value("guard.reject_excess_us", diff - self.threshold_us,
+                          node=self.node_id)
         return ok
 
     def margin(self, est_timestamp: float, local_time: float) -> float:

@@ -127,10 +127,10 @@ class SstspProtocol(SyncProtocol):
         self.backend = backend
         self._rng = rng
         self.clock = AdjustedClock(1.0, initial_offset_us)
-        self.guard = GuardPolicy(config.guard_fine_us)
+        self.guard = GuardPolicy(config.guard_fine_us, node_id=node_id)
         self.stats = SstspStats()
         self.state = SstspState.SYNCED if founding else SstspState.COARSE
-        self._coarse = None if founding else CoarseSynchronizer(config)
+        self._coarse = None if founding else CoarseSynchronizer(config, node_id=node_id)
         # Saturated silence counter: founding nodes contend immediately.
         self._silent_periods = config.l if founding else 0
         self._valid_beacon_this_period = False
@@ -311,7 +311,7 @@ class SstspProtocol(SyncProtocol):
         self._heard_in_coarse = False
         self.current_ref = None
         self.state = SstspState.COARSE
-        self._coarse = CoarseSynchronizer(self.config)
+        self._coarse = CoarseSynchronizer(self.config, node_id=self.node_id)
 
     # ------------------------------------------------------------------
     # Internals
@@ -385,7 +385,7 @@ class SstspProtocol(SyncProtocol):
             self.node_id, self._coarse_silent_periods, period,
         )
         self._coarse_silent_periods = 0
-        self._coarse = CoarseSynchronizer(self.config)
+        self._coarse = CoarseSynchronizer(self.config, node_id=self.node_id)
         self._silent_periods = self.config.l
         self.current_ref = None
         self.state = SstspState.CONTENDING
@@ -414,7 +414,7 @@ class SstspProtocol(SyncProtocol):
         self._coarse_silent_periods = 0
         self._heard_in_coarse = False
         self.state = SstspState.COARSE
-        self._coarse = CoarseSynchronizer(self.config)
+        self._coarse = CoarseSynchronizer(self.config, node_id=self.node_id)
 
     def _on_reference_changed(self, sender: int) -> None:
         self.current_ref = sender

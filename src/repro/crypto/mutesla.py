@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.crypto.hashchain import HashChain, verify_element
 from repro.crypto.primitives import constant_time_eq, hash128_iter, hmac128
+from repro.obs.events import emit
 
 
 @dataclass(frozen=True)
@@ -136,8 +137,9 @@ class MuTeslaReceiver:
     #: "the synchronization beacons received during last 2 BPs".
     MAX_PENDING: int = 2
 
-    def __init__(self, schedule: IntervalSchedule) -> None:
+    def __init__(self, schedule: IntervalSchedule, owner: Optional[int] = None) -> None:
         self.schedule = schedule
+        self.owner = owner
         self._senders: Dict[int, _SenderState] = {}
 
     def register_sender(self, sender: int, anchor: bytes, length: int) -> None:
@@ -187,6 +189,14 @@ class MuTeslaReceiver:
         # 1. Safety condition.
         if j != self.schedule.interval_of(local_time_us) or not self.schedule.contains(j):
             state.rejected_unsafe_interval += 1
+            emit(
+                "mutesla_reject",
+                t_us=local_time_us,
+                node=self.owner,
+                sender=sender,
+                interval=j,
+                reason="unsafe_interval",
+            )
             return []
         # 2. Disclosed key is h^{n-j+1}(s), i.e. chain position n - j + 1.
         disclosed_position = state.length - j + 1
@@ -200,6 +210,14 @@ class MuTeslaReceiver:
         state.hash_operations += cost
         if not ok:
             state.rejected_bad_key += 1
+            emit(
+                "mutesla_reject",
+                t_us=local_time_us,
+                node=self.owner,
+                sender=sender,
+                interval=j,
+                reason="bad_key",
+            )
             return []
         if state.verified is None or disclosed_position < state.verified[0]:
             state.verified = (disclosed_position, packet.disclosed_key)
@@ -222,10 +240,32 @@ class MuTeslaReceiver:
                 released.append(
                     AuthenticatedMessage(buffered.payload, buffered.interval, sender)
                 )
+                emit(
+                    "mutesla_auth",
+                    t_us=local_time_us,
+                    node=self.owner,
+                    sender=sender,
+                    interval=interval,
+                )
             else:
                 state.rejected_bad_mac += 1
+                emit(
+                    "mutesla_reject",
+                    t_us=local_time_us,
+                    node=self.owner,
+                    sender=sender,
+                    interval=interval,
+                    reason="bad_mac",
+                )
         # Buffer this packet until its own key is disclosed.
         state.pending[j] = packet
+        emit(
+            "mutesla_defer",
+            t_us=local_time_us,
+            node=self.owner,
+            sender=sender,
+            interval=j,
+        )
         while len(state.pending) > self.MAX_PENDING:
             state.pending.pop(min(state.pending))
         return released

@@ -53,15 +53,20 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "lint"],
+        choices=sorted(EXPERIMENTS) + ["all", "lint", "trace"],
         help="which table/figure to regenerate ('lint' runs reprolint, "
-        "the determinism/unit-safety static analysis)",
+        "the determinism/unit-safety static analysis; 'trace' inspects "
+        "event-trace JSONL files)",
     )
     args, passthrough = parser.parse_known_args(argv)
     if args.experiment == "lint":
         from repro.lint.cli import main as lint_main
 
         return lint_main(passthrough)
+    if args.experiment == "trace":
+        from repro.obs.cli import main as trace_main
+
+        return trace_main(passthrough)
     if args.experiment == "all":
         for name in (
             "fig1", "fig2", "table1", "fig3", "fig4",

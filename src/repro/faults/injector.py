@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Tuple
 
 from repro.faults.spec import FaultPlan, FaultSpec
 from repro.network.churn import REFERENCE_MARKER
+from repro.obs.events import emit
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.network.runner import NetworkRunner
@@ -83,8 +84,11 @@ class FaultInjector:
     def _note(self, period: int, message: str) -> None:
         line = f"p{period}: fault {message}"
         self.log.append(line)
+        t_us: Optional[float] = None
         if self._runner is not None:
             self._runner._events.append(line)
+            t_us = period * self._runner.params.beacon_period_us
+        emit("fault_applied", t_us=t_us, period=period, detail=message)
         logger.info("fault injection: %s", line)
 
     def _resolve(self, period: int, node_id: int) -> Optional[int]:

@@ -8,7 +8,8 @@ the byte-identical-CSV / lane-parity guarantees quietly stop holding:
 ``D001``  process-global randomness (``random.*``, ``np.random.*``
           module state) outside the seeded-stream registry
 ``D002``  wall-clock reads (``time.time`` …, ``datetime.now``) outside
-          the orchestrator's progress/ETA reporting
+          the orchestrator's progress/ETA reporting and the profiling
+          module (``obs/profile.py``)
 ``D003``  iteration over unordered collections (``set`` literals,
           ``set()``/``frozenset()`` calls, ``dict.keys()``, filesystem
           enumeration) in result-affecting packages
@@ -51,6 +52,7 @@ DEFAULT_ORDERED_PACKAGES: FrozenSet[str] = frozenset(
         "mac",
         "multihop",
         "network",
+        "obs",
         "phy",
         "protocols",
         "security",
@@ -74,8 +76,12 @@ class LintConfig:
     #: place seeded streams are derived.
     rng_allow: FrozenSet[str] = frozenset({"sim/rng.py"})
     #: Modules allowed to read the host clock (D002): progress/ETA
-    #: reporting in the sweep orchestrator only.
-    wallclock_allow: FrozenSet[str] = frozenset({"sweep/orchestrator.py"})
+    #: reporting in the sweep orchestrator, plus the profiling module
+    #: (``repro.obs.profile``) — the single sanctioned home for section
+    #: timers; everything else takes time from the simulation engine.
+    wallclock_allow: FrozenSet[str] = frozenset(
+        {"sweep/orchestrator.py", "obs/profile.py"}
+    )
     #: First path components where unordered iteration (D003) is an
     #: error because it can reorder results.
     ordered_packages: FrozenSet[str] = DEFAULT_ORDERED_PACKAGES
@@ -269,8 +275,9 @@ class WallClockRead(Rule):
 
     Simulated time comes from the event engine; host time leaking into
     model code makes results depend on machine speed and scheduling.
-    Only the allowlisted orchestrator (progress/ETA display) may look
-    at the real clock.
+    Only the allowlisted orchestrator (progress/ETA display) and the
+    profiling module (section timers that report, never feed back into
+    results) may look at the real clock.
     """
 
     code = "D002"

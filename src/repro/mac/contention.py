@@ -33,6 +33,8 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Ty
 
 import numpy as np
 
+from repro.obs.events import emit
+
 T = TypeVar("T")
 
 
@@ -150,6 +152,15 @@ def resolve_contention(
             # Medium sensed busy: defer to the end of the busy period.
             heapq.heappush(heap, (cur_end, next(counter), station))
     close_group()
+    first = result.first_success
+    if first is not None:
+        emit(
+            "contention_win",
+            t_us=first.start_us,
+            node=first.members[0],
+            contenders=len(candidates),
+            collisions=result.collisions,
+        )
     return result
 
 
@@ -227,6 +238,12 @@ def resolve_neighborhood(
             result.cancelled.append(station)
             continue
         result.kept.append((station, start))
+        emit(
+            "contention_win",
+            t_us=start,
+            node=station,
+            contenders=len(candidates),
+        )
         end = start + airtime_us
         for neighbor in hears(station):
             if end > busy_until.get(neighbor, -math.inf):

@@ -76,6 +76,7 @@ from repro.network.churn import ChurnApplier, ChurnEvent, ChurnSchedule
 from repro.network.ibss import ScenarioSpec, build_sstsp_network
 from repro.network.node import Node
 from repro.network.runner import RunnerParams
+from repro.obs.events import emit
 from repro.phy.channel import SpatialBroadcastChannel
 from repro.phy.params import SSTSP_BEACON_BYTES, PhyParams
 from repro.sim.rng import RngRegistry
@@ -352,6 +353,7 @@ class MultiHopRunner:
         self._by_id: Dict[int, Node] = {node.node_id: node for node in self.nodes}
         self.root = spec.root
         self._state(self.root).hop = 0
+        self._last_valid_root = spec.root
         self.root_changes = 0
         self.beacons_sent = 0
         self.collisions = 0
@@ -541,11 +543,14 @@ class MultiHopRunner:
             node = self._by_id.get(node_id)
             return None if node is None else node.present
 
+        t_us = period * self.spec.beacon_period_us
+
         def leave(node_id: int) -> None:
             node = self._by_id[node_id]
             node.present = False
             node.protocol.on_leave(period)
             self._events.append(f"p{period}: node {node_id} left")
+            emit("churn_leave", t_us=t_us, node=node_id, period=period)
             if node_id == self.root:
                 self.root = -1  # orphaned; hop-1 children will elect
 
@@ -554,6 +559,7 @@ class MultiHopRunner:
             node.present = True
             node.protocol.on_return(period)
             self._events.append(f"p{period}: node {node_id} returned")
+            emit("churn_return", t_us=t_us, node=node_id, period=period)
 
         assert self._churn_applier is not None
         self._churn_applier.apply(
@@ -703,7 +709,16 @@ class MultiHopRunner:
             [(tx.sender, tx.tx_true) for tx in candidates], airtime, hears
         )
         self.beacons_sent += len(result.kept)
-        return [by_sender[sender] for sender, _start in result.kept]
+        kept = [by_sender[sender] for sender, _start in result.kept]
+        for tx in kept:
+            emit(
+                "beacon_tx",
+                t_us=tx.tx_true,
+                node=tx.sender,
+                period=tx.interval,
+                hop=tx.hop,
+            )
+        return kept
 
     def _resolve_receptions(
         self,
@@ -752,6 +767,14 @@ class MultiHopRunner:
             + spec.propagation_delay_us
         )
         for receiver, decoded in receptions.items():
+            for tx in decoded:
+                emit(
+                    "beacon_rx",
+                    t_us=tx.tx_true + latency,
+                    node=receiver,
+                    src=tx.sender,
+                    period=period,
+                )
             if receiver == self.root:
                 accepted.add(receiver)
                 continue
@@ -794,6 +817,13 @@ class MultiHopRunner:
                 continue
             guard = spec.guard_fine_us + spec.guard_per_hop_us * (chosen.hop + 1)
             if abs(est - local) > guard:
+                emit(
+                    "guard_reject",
+                    t_us=local,
+                    node=receiver,
+                    diff_us=abs(est - local),
+                    threshold_us=guard,
+                )
                 continue  # guard time: replayed/delayed/forged or far drift
             silent_before = state.silent
             state.silent = 0
@@ -891,6 +921,14 @@ class MultiHopRunner:
                 state.hop = 0
                 state.upstream = None
                 self.root_changes += 1
+                emit(
+                    "reference_change",
+                    t_us=period * spec.beacon_period_us,
+                    old_ref=self._last_valid_root,
+                    new_ref=winner,
+                    period=period,
+                )
+                self._last_valid_root = winner
                 # the new root is the timebase: clamp away any transient
                 # slewing slope (same rationale as the single-hop
                 # reference_pace_clamp), continuously at the current time

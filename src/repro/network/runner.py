@@ -35,6 +35,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 from repro.analysis.metrics import TraceRecorder, SyncTrace
 from repro.mac.contention import ContentionResult, partition_domains, resolve_contention
+from repro.obs.events import emit
 from repro.network.churn import ChurnApplier, ChurnSchedule
 from repro.network.node import Node
 from repro.phy.channel import BroadcastChannel
@@ -122,6 +123,7 @@ class NetworkRunner:
         self._beacon_successes = 0
         self._windows = 0
         self._last_beacon_true = 0.0
+        self._last_valid_ref = -1
         self.injector = None
         if injector is not None:
             self.attach_injector(injector)
@@ -238,6 +240,7 @@ class NetworkRunner:
             hw_tx = sender.hw.read(success.start_us)
             frame = sender.protocol.make_frame(hw_tx, period)
             self._beacon_successes += 1
+            emit("beacon_tx", t_us=success.start_us, node=winner_id, period=period)
             pool = [nid for nid in members if nid != winner_id]
             delivered = self.channel.broadcast(
                 winner_id, pool, success.start_us, frame.size_bytes
@@ -259,6 +262,13 @@ class NetworkRunner:
                 )
                 rnode.protocol.on_beacon(frame, rx)
                 received_ids.add(rid)
+                emit(
+                    "beacon_rx",
+                    t_us=arrival,
+                    node=rid,
+                    src=winner_id,
+                    period=period,
+                )
 
         for node in active:
             node.protocol.end_period(
@@ -294,9 +304,21 @@ class NetworkRunner:
             values.append(value)
             if full is not None:
                 full[index] = value
-        self.recorder.record(
-            sample_time, values, self.current_reference(), full_values=full
-        )
+        reference = self.current_reference()
+        # Mirror SyncTrace.reference_changes(): only transitions between
+        # two *valid* reference ids count (interregnums are not changes),
+        # so `repro trace summary` matches the invariant evaluation.
+        if reference >= 0:
+            if 0 <= self._last_valid_ref != reference:
+                emit(
+                    "reference_change",
+                    t_us=sample_time,
+                    old_ref=self._last_valid_ref,
+                    new_ref=reference,
+                    period=period,
+                )
+            self._last_valid_ref = reference
+        self.recorder.record(sample_time, values, reference, full_values=full)
         if self.injector is not None:
             self.injector.on_period_end(period)
 
@@ -309,11 +331,14 @@ class NetworkRunner:
             node = self._by_id.get(node_id)
             return None if node is None else node.present
 
+        t_us = period * self.params.beacon_period_us
+
         def leave(node_id: int) -> None:
             node = self._by_id[node_id]
             node.present = False
             node.protocol.on_leave(period)
             self._events.append(f"p{period}: node {node_id} left")
+            emit("churn_leave", t_us=t_us, node=node_id, period=period)
             logger.info("churn: node %d left at period %d", node_id, period)
 
         def ret(node_id: int) -> None:
@@ -321,6 +346,7 @@ class NetworkRunner:
             node.present = True
             node.protocol.on_return(period)
             self._events.append(f"p{period}: node {node_id} returned")
+            emit("churn_return", t_us=t_us, node=node_id, period=period)
             logger.info("churn: node %d returned at period %d", node_id, period)
 
         self._churn_applier.apply(

@@ -1,0 +1,45 @@
+"""Observability layer: event tracing, metrics, and profiling.
+
+Three concerns, three modules:
+
+* :mod:`repro.obs.events` — the structured event-tracing bus the kernel
+  emits protocol events onto (strict no-op when disabled);
+* :mod:`repro.obs.registry` — counters / gauges / histogram summaries,
+  per-run with per-sweep roll-up;
+* :mod:`repro.obs.profile` — opt-in wall-clock section timers, confined
+  to the orchestration layer.
+
+See ``docs/observability.md`` for the event catalog and usage.
+"""
+
+from repro.obs.events import (
+    EVENT_CATALOG,
+    TRACE_SCHEMA_VERSION,
+    RunObserver,
+    current_observer,
+    emit,
+    observe_run,
+    observe_value,
+    read_events,
+    tracing_enabled,
+)
+from repro.obs.profile import NULL_PROFILER, NullProfiler, Profiler
+from repro.obs.registry import HistogramSummary, MetricsRegistry, merge_snapshots
+
+__all__ = [
+    "EVENT_CATALOG",
+    "TRACE_SCHEMA_VERSION",
+    "RunObserver",
+    "current_observer",
+    "emit",
+    "observe_run",
+    "observe_value",
+    "read_events",
+    "tracing_enabled",
+    "HistogramSummary",
+    "MetricsRegistry",
+    "merge_snapshots",
+    "NULL_PROFILER",
+    "NullProfiler",
+    "Profiler",
+]

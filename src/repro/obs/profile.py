@@ -1,0 +1,131 @@
+"""Opt-in wall-clock section profiling for the orchestration layer.
+
+Everything below the orchestrator takes time from the simulation engine
+— reprolint's D002 rule enforces that a host-clock read anywhere in the
+simulation stack is an error, because wall time makes results a
+function of machine load. Profiling, however, is *about* wall time:
+"where did this sweep's 40 seconds go — engine, crypto, cache?" is a
+question only the host clock answers.
+
+This module is the single sanctioned home for those reads. It is
+allowlisted for D002 alongside ``sweep/orchestrator.py`` (see
+:class:`repro.lint.rules.LintConfig.wallclock_allow`), and the contract
+that keeps the carve-out safe is:
+
+* a :class:`Profiler` may be *driven* from anywhere, but only this
+  module ever calls ``time.perf_counter`` — instrumented code holds a
+  section handle, never a clock;
+* profiling never feeds back into simulation decisions: a
+  :class:`Profiler` accumulates durations for *reporting* (the sweep
+  summary line, the run-log ``profile`` record) and nothing in the
+  result path reads them;
+* everything defaults to :data:`NULL_PROFILER`, whose sections cost two
+  attribute lookups and read no clock, so profiling is pay-for-use.
+
+Phase names are free-form; the orchestrator uses ``cache`` (result
+cache lookups and write-backs), ``engine`` (job execution, which for
+secure-beacon scenarios is dominated by the crypto backend) and ``log``
+(run-log writes).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+
+class _Section:
+    """One timed section; used as a context manager."""
+
+    __slots__ = ("_profiler", "_name", "_start")
+
+    def __init__(self, profiler: "Profiler", name: str) -> None:
+        self._profiler = profiler
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Section":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._profiler.add(self._name, time.perf_counter() - self._start)
+
+
+class _NullSection:
+    """A section that reads no clock and records nothing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSection":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+
+_NULL_SECTION = _NullSection()
+
+
+class Profiler:
+    """Accumulates wall-clock seconds per named phase.
+
+    ::
+
+        profiler = Profiler()
+        with profiler.section("cache"):
+            ...
+        profiler.totals()  # {"cache": 0.0123}
+    """
+
+    enabled: bool = True
+
+    def __init__(self) -> None:
+        self._seconds: Dict[str, float] = {}
+        self._counts: Dict[str, int] = {}
+
+    def section(self, name: str) -> _Section:
+        """A context manager timing one ``name`` phase entry."""
+        return _Section(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        """Record ``seconds`` spent in phase ``name``."""
+        self._seconds[name] = self._seconds.get(name, 0.0) + seconds
+        self._counts[name] = self._counts.get(name, 0) + 1
+
+    def totals(self) -> Dict[str, float]:
+        """Seconds per phase, sorted by phase name."""
+        return {name: round(self._seconds[name], 6) for name in sorted(self._seconds)}
+
+    def counts(self) -> Dict[str, int]:
+        """Section entries per phase, sorted by phase name."""
+        return {name: self._counts[name] for name in sorted(self._counts)}
+
+    def format_summary(self, wall_s: Optional[float] = None) -> str:
+        """One human-readable line: ``phase 1.2s (60%), ...``."""
+        totals = self.totals()
+        if not totals:
+            return "no profiled sections"
+        parts: List[str] = []
+        for name, seconds in sorted(totals.items(), key=lambda kv: -kv[1]):
+            if wall_s:
+                parts.append(f"{name} {seconds:.2f}s ({100.0 * seconds / wall_s:.0f}%)")
+            else:
+                parts.append(f"{name} {seconds:.2f}s")
+        return ", ".join(parts)
+
+
+class NullProfiler(Profiler):
+    """The disabled profiler: sections read no clock, totals are empty."""
+
+    enabled = False
+
+    def section(self, name: str) -> _NullSection:  # type: ignore[override]
+        return _NULL_SECTION
+
+    def add(self, name: str, seconds: float) -> None:
+        pass
+
+
+#: Shared disabled instance (stateless, safe to reuse everywhere).
+NULL_PROFILER = NullProfiler()

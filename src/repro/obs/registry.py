@@ -1,0 +1,151 @@
+"""The metrics registry: counters, gauges and histogram summaries.
+
+One :class:`MetricsRegistry` accumulates the quantitative side of a run
+— how many beacons aired, how many receptions the guard rejected, how
+far the guard margin sat from the threshold — keyed by metric name plus
+an optional node label. Events flowing through the tracing bus
+(:mod:`repro.obs.events`) increment their event counters automatically;
+instrumented code can additionally record gauges and histogram
+observations directly.
+
+Design constraints, in order:
+
+* **determinism** — snapshots serialise with sorted keys and contain
+  only values derived from simulation state, never host state, so two
+  runs of the same seed produce byte-identical snapshots;
+* **mergeability** — the sweep orchestrator rolls per-job snapshots up
+  into one per-sweep aggregate (counters and histogram summaries add,
+  gauges keep the last write), so ``repro sweep`` artifacts carry
+  beacon/rejection/re-election totals alongside the CSVs;
+* **cheapness** — a histogram is a running summary (count/sum/min/max),
+  not a bucketed distribution: O(1) memory per metric.
+
+Naming convention (see ``docs/observability.md``): dotted
+``<subsystem>.<quantity>`` with an explicit unit suffix where one
+applies, e.g. ``guard.reject_margin_us``. Auto-derived event counters
+are ``events.<event_name>``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+
+def _key(name: str, node: Optional[int]) -> str:
+    """Flat string key: ``name`` or ``name|node=<id>``."""
+    return name if node is None else f"{name}|node={node}"
+
+
+@dataclass
+class HistogramSummary:
+    """Running summary statistics of one observed quantity."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float = float("inf")
+    max: float = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the summary."""
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def to_dict(self) -> Dict[str, float]:
+        """JSON-able summary (``sum`` rounded so merges stay stable)."""
+        return {
+            "count": self.count,
+            "sum": round(self.total, 9),
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """Per-run metric accumulation (counters / gauges / histograms)."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, HistogramSummary] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def inc(self, name: str, node: Optional[int] = None, by: int = 1) -> None:
+        """Increment counter ``name`` (optionally per-node) by ``by``."""
+        key = _key(name, node)
+        self._counters[key] = self._counters.get(key, 0) + by
+
+    def set_gauge(self, name: str, value: float, node: Optional[int] = None) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        self._gauges[_key(name, node)] = value
+
+    def observe(self, name: str, value: float, node: Optional[int] = None) -> None:
+        """Add one observation to histogram ``name``."""
+        key = _key(name, node)
+        hist = self._histograms.get(key)
+        if hist is None:
+            hist = self._histograms[key] = HistogramSummary()
+        hist.observe(float(value))
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def counter(self, name: str, node: Optional[int] = None) -> int:
+        """Current value of a counter (0 if never incremented)."""
+        return self._counters.get(_key(name, node), 0)
+
+    def counter_total(self, name: str) -> int:
+        """Sum of a counter over every node label (plus the unlabelled)."""
+        prefix = f"{name}|node="
+        return sum(
+            value
+            for key, value in self._counters.items()
+            if key == name or key.startswith(prefix)
+        )
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-able, deterministically ordered state of the registry."""
+        return {
+            "counters": {k: self._counters[k] for k in sorted(self._counters)},
+            "gauges": {k: self._gauges[k] for k in sorted(self._gauges)},
+            "histograms": {
+                k: self._histograms[k].to_dict()
+                for k in sorted(self._histograms)
+            },
+        }
+
+
+def merge_snapshots(total: Dict[str, Any], part: Dict[str, Any]) -> Dict[str, Any]:
+    """Fold ``part`` into ``total`` (both :meth:`MetricsRegistry.snapshot`
+    shaped); returns ``total``. Counters and histogram summaries add;
+    gauges keep the later write. The sweep orchestrator uses this for the
+    per-sweep roll-up."""
+    counters = total.setdefault("counters", {})
+    for key in sorted(part.get("counters", {})):
+        counters[key] = counters.get(key, 0) + part["counters"][key]
+    gauges = total.setdefault("gauges", {})
+    for key in sorted(part.get("gauges", {})):
+        gauges[key] = part["gauges"][key]
+    histograms = total.setdefault("histograms", {})
+    for key in sorted(part.get("histograms", {})):
+        summary = part["histograms"][key]
+        merged = histograms.get(key)
+        if merged is None:
+            histograms[key] = dict(summary)
+        else:
+            merged["count"] += summary["count"]
+            merged["sum"] = round(merged["sum"] + summary["sum"], 9)
+            merged["min"] = min(merged["min"], summary["min"])
+            merged["max"] = max(merged["max"], summary["max"])
+    return total

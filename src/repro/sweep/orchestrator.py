@@ -24,6 +24,9 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Sequence, TextIO
 
+from repro.obs.events import observe_run
+from repro.obs.profile import NULL_PROFILER, Profiler
+from repro.obs.registry import merge_snapshots
 from repro.sweep.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.sweep.jobs import execute_job
 from repro.sweep.spec import JobSpec
@@ -45,12 +48,24 @@ class SweepOptions:
         JSONL run-log destination, or None for no log file.
     progress:
         Stream per-job progress/ETA lines to stderr.
+    trace_dir:
+        Directory receiving one event-trace JSONL per *executed* job
+        (``<kind>-<hash>.jsonl``), or None for no tracing. Tracing is
+        pure observation — results and cache keys are identical with it
+        on or off — so cache *hits* produce no trace (the job never
+        ran); use ``--no-cache`` or a fresh cache to trace everything.
+    profile:
+        Attribute sweep wall time to phases (cache / engine / log) with
+        wall-clock section timers; totals go to the run log and, with
+        ``progress``, to stderr.
     """
 
     workers: int = 1
     cache_dir: Optional[str] = None
     log_path: Optional[str] = None
     progress: bool = False
+    trace_dir: Optional[str] = None
+    profile: bool = False
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -102,6 +117,15 @@ def add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
         "--sweep-log", default=None, metavar="PATH",
         help="JSONL run-log path (default: results/sweep_logs/<name>.jsonl)",
     )
+    group.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="write one event-trace JSONL per executed job into DIR "
+        "(cache hits never ran, so they produce no trace)",
+    )
+    group.add_argument(
+        "--profile", action="store_true",
+        help="attribute sweep wall time to phases (cache/engine/log)",
+    )
 
 
 def sweep_options_from_args(args: argparse.Namespace) -> SweepOptions:
@@ -123,6 +147,8 @@ def sweep_options_from_args(args: argparse.Namespace) -> SweepOptions:
         cache_dir=cache_dir,
         log_path=args.sweep_log,
         progress=True,
+        trace_dir=getattr(args, "trace_dir", None),
+        profile=getattr(args, "profile", False),
     )
 
 
@@ -132,7 +158,12 @@ def _default_log_path(name: str) -> str:
 
 
 class _RunLog:
-    """Line-per-event JSONL writer (no-op when path is None)."""
+    """Line-per-event JSONL writer (no-op when path is None).
+
+    A context manager: ``run_sweep`` holds the whole execution inside a
+    ``with`` block, so the log flushes and closes even when a worker
+    raises — no leaked half-written JSONL on failures.
+    """
 
     def __init__(self, path: Optional[str]) -> None:
         self.path = path
@@ -150,6 +181,32 @@ class _RunLog:
         if self._fh is not None:
             self._fh.close()
             self._fh = None
+
+    def __enter__(self) -> "_RunLog":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def _job_trace_path(trace_dir: str, spec: JobSpec) -> str:
+    """Deterministic per-job trace filename inside ``trace_dir``."""
+    return os.path.join(trace_dir, f"{spec.kind}-{spec.spec_hash()[:16]}.jsonl")
+
+
+def _execute_observed(spec: JobSpec, trace_dir: str) -> tuple:
+    """Run one job with the tracing bus on; module-level so the pool can
+    pickle it. Returns ``(value, obs_payload)`` where the payload carries
+    the trace path and the job's metrics snapshot back to the parent."""
+    path = _job_trace_path(trace_dir, spec)
+    with observe_run(path, keep_events=False) as observer:
+        value = execute_job(spec)
+    payload = {
+        "trace_path": path,
+        "events": observer.event_count,
+        "metrics": observer.registry.snapshot(),
+    }
+    return value, payload
 
 
 def _progress_line(
@@ -184,136 +241,187 @@ def run_sweep(
     specs = list(specs)
     stats = SweepStats(jobs=len(specs))
     cache = ResultCache(options.cache_dir) if options.cache_dir else None
+    trace_dir = options.trace_dir
+    if trace_dir is not None:
+        os.makedirs(trace_dir, exist_ok=True)
+    profiler = Profiler() if options.profile else NULL_PROFILER
     log_path = options.log_path
     if log_path is None and options.progress and specs:
         log_path = _default_log_path(name)
-    log = _RunLog(log_path if specs else None)
-    stats.log_path = log.path
     err = sys.stderr
     start = time.perf_counter()
-    log.write({
-        "event": "sweep_start",
-        "sweep": name,
-        "jobs": len(specs),
-        "workers": options.workers,
-        "cache_dir": options.cache_dir,
-        "cache_salt": cache.salt if cache else None,
-        "time": time.time(),
-    })
-
     values: List[Any] = [None] * len(specs)
     pending: List[int] = []
     done = 0
     miss_walls: List[float] = []
+    metrics_total: Dict[str, Any] = {}
 
-    def log_job(index: int, source: str, wall_s: float) -> None:
-        spec = specs[index]
+    with _RunLog(log_path if specs else None) as log:
+        stats.log_path = log.path
         log.write({
-            "event": "job",
+            "event": "sweep_start",
             "sweep": name,
-            "seq": index,
-            "kind": spec.kind,
-            "hash": spec.spec_hash()[:16],
-            "params": spec.params_dict(),
-            "cache": source,
-            "wall_s": round(wall_s, 6),
+            "jobs": len(specs),
+            "workers": options.workers,
+            "cache_dir": options.cache_dir,
+            "cache_salt": cache.salt if cache else None,
+            "trace_dir": trace_dir,
+            "time": time.time(),
         })
 
-    # Phase 1: satisfy what we can from the cache.
-    for index, spec in enumerate(specs):
-        if cache is not None:
-            t0 = time.perf_counter()
-            hit, value = cache.get(spec)
-            if hit:
-                values[index] = value
-                stats.cache_hits += 1
-                done += 1
-                log_job(index, "hit", time.perf_counter() - t0)
-                continue
-        pending.append(index)
+        def log_job(index: int, source: str, wall_s: float) -> None:
+            spec = specs[index]
+            with profiler.section("log"):
+                log.write({
+                    "event": "job",
+                    "sweep": name,
+                    "seq": index,
+                    "kind": spec.kind,
+                    "hash": spec.spec_hash()[:16],
+                    "params": spec.params_dict(),
+                    "cache": source,
+                    "wall_s": round(wall_s, 6),
+                })
 
-    if options.progress and stats.cache_hits:
-        print(
-            _progress_line(
-                name, done, len(specs), stats.cache_hits,
-                time.perf_counter() - start, miss_walls,
-                len(pending), options.workers,
-            ),
-            file=err,
-        )
+        def log_job_obs(index: int, payload: Dict[str, Any]) -> None:
+            """Per-job observability record + roll-up into the sweep
+            aggregate (counters/histograms add, gauges last-write)."""
+            merge_snapshots(metrics_total, payload["metrics"])
+            spec = specs[index]
+            with profiler.section("log"):
+                log.write({
+                    "event": "job_obs",
+                    "sweep": name,
+                    "seq": index,
+                    "kind": spec.kind,
+                    "hash": spec.spec_hash()[:16],
+                    "trace_path": payload["trace_path"],
+                    "events": payload["events"],
+                    "metrics": payload["metrics"],
+                })
 
-    def finish(index: int, value: Any, wall_s: float) -> None:
-        nonlocal done
-        values[index] = value
-        stats.executed += 1
-        stats.job_wall_s.append(wall_s)
-        miss_walls.append(wall_s)
-        done += 1
-        if cache is not None:
-            cache.put(specs[index], value)
-        log_job(index, "miss", wall_s)
-        if options.progress:
+        # Phase 1: satisfy what we can from the cache.
+        for index, spec in enumerate(specs):
+            if cache is not None:
+                t0 = time.perf_counter()
+                with profiler.section("cache"):
+                    hit, value = cache.get(spec)
+                if hit:
+                    values[index] = value
+                    stats.cache_hits += 1
+                    done += 1
+                    log_job(index, "hit", time.perf_counter() - t0)
+                    continue
+            pending.append(index)
+
+        if options.progress and stats.cache_hits:
             print(
                 _progress_line(
                     name, done, len(specs), stats.cache_hits,
                     time.perf_counter() - start, miss_walls,
-                    len(specs) - done, options.workers,
+                    len(pending), options.workers,
                 ),
                 file=err,
             )
 
-    # Phase 2: execute the misses.
-    try:
-        if options.workers == 1 or len(pending) <= 1:
-            for index in pending:
-                t0 = time.perf_counter()
-                try:
-                    value = execute_job(specs[index])
-                except Exception as exc:
-                    raise RuntimeError(
-                        f"sweep job failed: {specs[index].job_key}"
-                    ) from exc
-                finish(index, value, time.perf_counter() - t0)
-        else:
-            with ProcessPoolExecutor(max_workers=options.workers) as pool:
-                t0 = time.perf_counter()
-                futures = {
-                    pool.submit(execute_job, specs[index]): index
-                    for index in pending
-                }
-                not_done = set(futures)
-                while not_done:
-                    finished, not_done = wait(
-                        not_done, return_when=FIRST_COMPLETED
-                    )
-                    for future in finished:
-                        index = futures[future]
-                        try:
-                            value = future.result()
-                        except Exception as exc:
-                            raise RuntimeError(
-                                f"sweep job failed: {specs[index].job_key}"
-                            ) from exc
-                        # per-job wall time is not observable from the
-                        # parent without instrumenting the worker; the
-                        # batch-averaged value keeps the ETA honest.
-                        completed = len(miss_walls) + 1
-                        finish(
-                            index, value,
-                            (time.perf_counter() - t0) / completed,
-                        )
-    finally:
-        stats.wall_s = time.perf_counter() - start
-        log.write({
-            "event": "sweep_end",
-            "sweep": name,
-            "jobs": len(specs),
-            "cache_hits": stats.cache_hits,
-            "executed": stats.executed,
-            "wall_s": round(stats.wall_s, 6),
-            "time": time.time(),
-        })
-        log.close()
+        def finish(index: int, value: Any, wall_s: float) -> None:
+            nonlocal done
+            values[index] = value
+            stats.executed += 1
+            stats.job_wall_s.append(wall_s)
+            miss_walls.append(wall_s)
+            done += 1
+            if cache is not None:
+                with profiler.section("cache"):
+                    cache.put(specs[index], value)
+            log_job(index, "miss", wall_s)
+            if options.progress:
+                print(
+                    _progress_line(
+                        name, done, len(specs), stats.cache_hits,
+                        time.perf_counter() - start, miss_walls,
+                        len(specs) - done, options.workers,
+                    ),
+                    file=err,
+                )
+
+        def run_one(index: int) -> Any:
+            """Execute one job in-process, traced when configured."""
+            if trace_dir is None:
+                return execute_job(specs[index])
+            value, payload = _execute_observed(specs[index], trace_dir)
+            log_job_obs(index, payload)
+            return value
+
+        # Phase 2: execute the misses.
+        try:
+            if options.workers == 1 or len(pending) <= 1:
+                for index in pending:
+                    t0 = time.perf_counter()
+                    try:
+                        with profiler.section("engine"):
+                            value = run_one(index)
+                    except Exception as exc:
+                        raise RuntimeError(
+                            f"sweep job failed: {specs[index].job_key}"
+                        ) from exc
+                    finish(index, value, time.perf_counter() - t0)
+            else:
+                with ProcessPoolExecutor(max_workers=options.workers) as pool:
+                    t0 = time.perf_counter()
+                    if trace_dir is None:
+                        futures = {
+                            pool.submit(execute_job, specs[index]): index
+                            for index in pending
+                        }
+                    else:
+                        futures = {
+                            pool.submit(
+                                _execute_observed, specs[index], trace_dir
+                            ): index
+                            for index in pending
+                        }
+                    not_done = set(futures)
+                    while not_done:
+                        with profiler.section("engine"):
+                            finished, not_done = wait(
+                                not_done, return_when=FIRST_COMPLETED
+                            )
+                        for future in finished:
+                            index = futures[future]
+                            try:
+                                value = future.result()
+                            except Exception as exc:
+                                raise RuntimeError(
+                                    f"sweep job failed: {specs[index].job_key}"
+                                ) from exc
+                            if trace_dir is not None:
+                                value, payload = value
+                                log_job_obs(index, payload)
+                            # per-job wall time is not observable from the
+                            # parent without instrumenting the worker; the
+                            # batch-averaged value keeps the ETA honest.
+                            completed = len(miss_walls) + 1
+                            finish(
+                                index, value,
+                                (time.perf_counter() - t0) / completed,
+                            )
+        finally:
+            stats.wall_s = time.perf_counter() - start
+            end_record: Dict[str, Any] = {
+                "event": "sweep_end",
+                "sweep": name,
+                "jobs": len(specs),
+                "cache_hits": stats.cache_hits,
+                "executed": stats.executed,
+                "wall_s": round(stats.wall_s, 6),
+                "time": time.time(),
+            }
+            if trace_dir is not None:
+                end_record["metrics"] = metrics_total
+            if profiler.enabled:
+                end_record["profile"] = profiler.totals()
+            log.write(end_record)
     if options.progress:
         print(
             f"[sweep {name}] done: {len(specs)} jobs "
@@ -322,4 +430,10 @@ def run_sweep(
             + (f" (log: {stats.log_path})" if stats.log_path else ""),
             file=err,
         )
+        if profiler.enabled:
+            print(
+                f"[sweep {name}] profile: "
+                f"{profiler.format_summary(stats.wall_s)}",
+                file=err,
+            )
     return SweepResult(specs=specs, values=values, stats=stats)

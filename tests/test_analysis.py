@@ -57,9 +57,37 @@ class TestMetrics:
         sub = trace.window(150_000.0, 350_000.0)
         assert list(sub.max_diff_us) == [2, 3]
 
+    def test_window_rejects_inverted_interval(self):
+        trace = make_trace([1, 2, 3])
+        with pytest.raises(ValueError, match="end_us > start_us"):
+            trace.window(300_000.0, 100_000.0)
+        with pytest.raises(ValueError, match="end_us > start_us"):
+            trace.window(100_000.0, 100_000.0)
+
+    def test_window_valid_but_sparse_interval_is_empty_not_error(self):
+        trace = make_trace([1, 2, 3])
+        sub = trace.window(900_000.0, 950_000.0)
+        assert len(sub) == 0
+
     def test_steady_state_skips_transient(self):
         trace = make_trace([100.0] * 25 + [5.0] * 75)
         assert trace.steady_state_error_us() == 5.0
+
+    def test_steady_state_short_trace_keeps_a_sample(self):
+        # skip_fraction on a 1-sample trace must not round to an empty
+        # tail (used to yield a numpy empty-slice warning and NaN)
+        trace = make_trace([7.0])
+        with np.errstate(all="raise"):
+            assert trace.steady_state_error_us(skip_fraction=0.9) == 7.0
+
+    def test_steady_state_validation(self):
+        trace = make_trace([1.0, 2.0])
+        with pytest.raises(ValueError, match="skip_fraction"):
+            trace.steady_state_error_us(skip_fraction=1.0)
+        with pytest.raises(ValueError, match="skip_fraction"):
+            trace.steady_state_error_us(skip_fraction=-0.1)
+        with pytest.raises(ValueError, match="empty trace"):
+            make_trace([]).steady_state_error_us()
 
     def test_peak(self):
         assert make_trace([1, 9, 2]).peak_error_us() == 9.0

@@ -25,6 +25,7 @@ from repro.multihop.runner import MultiHopSpec, degenerate_scenario, run_multiho
 from repro.multihop.topology import Topology
 from repro.network.churn import REFERENCE_MARKER, ChurnEvent, ChurnSchedule
 from repro.network.ibss import ScenarioSpec, build_network, build_sstsp_network
+from repro.obs import observe_run, tracing_enabled
 
 #: The shared scenarios: (id, spec, relative tail tolerance).
 SCENARIOS = [
@@ -81,6 +82,72 @@ def test_churn_scenario_actually_reelects():
     vec = run_sstsp_vectorized(spec)
     assert vec.trace.reference_changes() >= 1
     assert any("left" in event for event in vec.events)
+
+
+def _trace_arrays(trace):
+    arrays = [
+        trace.times_us,
+        trace.max_diff_us,
+        trace.mean_vs_true_us,
+        trace.present_counts,
+        trace.reference_ids,
+    ]
+    if trace.values_us is not None:
+        arrays.append(trace.values_us)
+    return arrays
+
+
+def _assert_bit_identical(a, b):
+    for left, right in zip(_trace_arrays(a), _trace_arrays(b)):
+        assert np.array_equal(left, right, equal_nan=True)
+
+
+class TestTracingParity:
+    """The event bus must be a strict no-op for results: ``emit`` draws
+    no randomness, reads no clock and mutates no simulation state, so a
+    traced run is *bit-identical* to an untraced one — not merely close.
+    This is the property that lets every lane stay instrumented."""
+
+    SPEC = ScenarioSpec(n=10, seed=4, duration_s=10.0)
+
+    def test_oo_lane_bit_identical_with_tracing(self, tmp_path):
+        plain = build_network("sstsp", self.SPEC).run()
+        assert not tracing_enabled()
+        with observe_run(str(tmp_path / "oo.jsonl")) as obs:
+            traced = build_network("sstsp", self.SPEC).run()
+        assert not tracing_enabled()
+        _assert_bit_identical(plain.trace, traced.trace)
+        assert plain.successful_beacons == traced.successful_beacons
+        assert obs.event_count > 0, "instrumented run produced no events"
+
+    def test_vec_lane_bit_identical_with_tracing(self):
+        plain = run_sstsp_vectorized(self.SPEC)
+        with observe_run() as obs:
+            traced = run_sstsp_vectorized(self.SPEC)
+        _assert_bit_identical(plain.trace, traced.trace)
+        assert obs.event_count > 0
+
+    def test_multihop_lane_bit_identical_with_tracing(self):
+        spec = MultiHopSpec(
+            topology=Topology.chain(6), seed=3, duration_s=8.0
+        )
+        plain = run_multihop(spec)
+        with observe_run() as obs:
+            traced = run_multihop(spec)
+        _assert_bit_identical(plain.trace, traced.trace)
+        assert plain.per_hop_error_us == traced.per_hop_error_us
+        assert plain.beacons_sent == traced.beacons_sent
+        assert obs.event_count > 0
+
+    def test_traced_rerun_is_trace_stable(self, tmp_path):
+        """Two traced runs of the same seed produce byte-identical
+        JSONL — the per-run guarantee behind the golden fixture."""
+        paths = [str(tmp_path / f"run{i}.jsonl") for i in (1, 2)]
+        for path in paths:
+            with observe_run(path):
+                build_network("sstsp", self.SPEC).run()
+        with open(paths[0], "rb") as a, open(paths[1], "rb") as b:
+            assert a.read() == b.read()
 
 
 def _run_reference_lane(spec: MultiHopSpec):

@@ -174,6 +174,28 @@ class TestD002WallClockRead:
         assert lint_file(allowed) == []
         assert codes(lint_file(elsewhere)) == ["D002"]
 
+    def test_obs_profile_is_allowlisted(self, tmp_path):
+        """The profiling module is the second (and last) D002 carve-out."""
+        source = """
+            import time
+
+            def section():
+                return time.perf_counter()
+            """
+        allowed = put(tmp_path, "repro/obs/profile.py", source)
+        sibling = put(tmp_path, "repro/obs/events.py", source)
+        kernel = put(tmp_path, "repro/network/runner2.py", source)
+        assert lint_file(allowed) == []
+        assert codes(lint_file(sibling)) == ["D002"]
+        assert codes(lint_file(kernel)) == ["D002"]
+
+    def test_carve_out_is_exactly_two_modules(self):
+        """The allowlist must not silently grow: wall-clock reads are
+        sanctioned in the orchestrator and the profiler, nowhere else."""
+        assert LintConfig().wallclock_allow == frozenset(
+            {"sweep/orchestrator.py", "obs/profile.py"}
+        )
+
 
 class TestD003UnorderedIteration:
     def test_set_literal_and_call_fire(self, tmp_path):

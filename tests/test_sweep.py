@@ -202,6 +202,127 @@ def test_table1_identical_across_worker_counts(monkeypatch, tmp_path):
     assert parallel_csv == serial_csv, "CSV bytes must not depend on worker count"
 
 
+# --- observability: per-job traces, metrics roll-up, profiling ----------
+
+
+def _quick_specs(count=2):
+    return [
+        JobSpec.make(
+            "scenario_trace",
+            {"protocol": "sstsp", "lane": "vec", "scenario": "quick",
+             "n": 5, "m": 4, "seed": s},
+            root_seed=s,
+        )
+        for s in range(1, count + 1)
+    ]
+
+
+def _trace_files(trace_dir):
+    return sorted(os.listdir(trace_dir))
+
+
+def test_trace_dir_writes_one_jsonl_per_executed_job(tmp_path):
+    trace_dir = tmp_path / "traces"
+    log_path = tmp_path / "run.jsonl"
+    specs = _quick_specs()
+    plain = run_sweep("quick", specs)
+    traced = run_sweep(
+        "quick", specs,
+        SweepOptions(trace_dir=str(trace_dir), log_path=str(log_path)),
+    )
+    # tracing is pure observation: the results are unchanged
+    assert [
+        (list(v["trace"].to_rows()), v["reference_changes"])
+        for v in traced.values
+    ] == [
+        (list(v["trace"].to_rows()), v["reference_changes"])
+        for v in plain.values
+    ]
+    files = _trace_files(trace_dir)
+    assert files == sorted(
+        f"{s.kind}-{s.spec_hash()[:16]}.jsonl" for s in specs
+    )
+    records = [json.loads(line) for line in open(log_path, encoding="utf-8")]
+    obs = [r for r in records if r["event"] == "job_obs"]
+    assert sorted(r["seq"] for r in obs) == [0, 1]
+    assert all(r["events"] > 0 for r in obs)
+    # the sweep_end record rolls the per-job counters up
+    end = records[-1]
+    assert end["event"] == "sweep_end"
+    total = sum(
+        v for k, v in end["metrics"]["counters"].items()
+        if k.startswith("events.")
+    )
+    assert total == sum(r["events"] for r in obs)
+
+
+def test_traces_byte_identical_across_worker_counts(tmp_path):
+    specs = _quick_specs()
+    dirs = {}
+    for workers in (1, 2):
+        trace_dir = tmp_path / f"w{workers}"
+        run_sweep(
+            "quick", specs, SweepOptions(workers=workers, trace_dir=str(trace_dir))
+        )
+        dirs[workers] = trace_dir
+    assert _trace_files(dirs[1]) == _trace_files(dirs[2])
+    for name in _trace_files(dirs[1]):
+        with open(dirs[1] / name, "rb") as a, open(dirs[2] / name, "rb") as b:
+            assert a.read() == b.read(), f"trace {name} differs across workers"
+
+
+def test_cache_hits_produce_no_trace(tmp_path):
+    specs = _quick_specs()
+    options = SweepOptions(
+        cache_dir=str(tmp_path / "cache"), trace_dir=str(tmp_path / "t1")
+    )
+    run_sweep("quick", specs, options)
+    warm = run_sweep(
+        "quick", specs,
+        SweepOptions(
+            cache_dir=str(tmp_path / "cache"), trace_dir=str(tmp_path / "t2")
+        ),
+    )
+    assert warm.stats.cache_hits == len(specs)
+    assert _trace_files(tmp_path / "t2") == []
+
+
+def test_run_log_closes_and_keeps_sweep_end_on_failure(tmp_path):
+    log_path = tmp_path / "run.jsonl"
+    specs = [JobSpec.make("test_echo", {"x": 1}), JobSpec.make("test_boom", {})]
+    with pytest.raises(RuntimeError, match="test_boom"):
+        run_sweep("boom", specs, SweepOptions(log_path=str(log_path)))
+    # the context manager flushed and closed the log despite the raise,
+    # and the finally-block accounting record made it out
+    records = [json.loads(line) for line in open(log_path, encoding="utf-8")]
+    assert records[0]["event"] == "sweep_start"
+    assert records[-1]["event"] == "sweep_end"
+    assert records[-1]["executed"] == 1
+
+
+def test_profile_totals_reach_the_run_log(tmp_path):
+    log_path = tmp_path / "run.jsonl"
+    run_sweep(
+        "echo", _echo_specs(2),
+        SweepOptions(
+            profile=True,
+            log_path=str(log_path),
+            cache_dir=str(tmp_path / "cache"),
+        ),
+    )
+    records = [json.loads(line) for line in open(log_path, encoding="utf-8")]
+    profile = records[-1]["profile"]
+    assert set(profile) >= {"cache", "engine", "log"}
+    assert all(v >= 0.0 for v in profile.values())
+
+
+def test_unprofiled_sweep_log_has_no_profile_record(tmp_path):
+    log_path = tmp_path / "run.jsonl"
+    run_sweep("echo", _echo_specs(1), SweepOptions(log_path=str(log_path)))
+    records = [json.loads(line) for line in open(log_path, encoding="utf-8")]
+    assert "profile" not in records[-1]
+
+
 def test_table1_warm_cache_reproduces_results(monkeypatch, tmp_path):
     options = SweepOptions(workers=1, cache_dir=str(tmp_path / "cache"))
     cold_rows, cold_csv = _rows_and_csv(monkeypatch, tmp_path, "cold", options)
