@@ -1,11 +1,19 @@
 """``sstsp-experiment``: run any (or all) paper experiments.
 
+Every experiment CLI shares the sweep-execution flags installed by
+:func:`repro.sweep.add_sweep_arguments` — ``--workers``, caching,
+tracing/profiling, and the resilience set (``--retries``,
+``--job-timeout``, ``--on-error``, ``--resume``); see
+``docs/simulation.md`` ("Sweep resilience").
+
 Examples
 --------
 ::
 
     sstsp-experiment fig1 --quick
     sstsp-experiment table1
+    sstsp-experiment table1 --workers 4 --on-error quarantine --retries 2
+    sstsp-experiment table1 --resume
     sstsp-experiment all --quick
 """
 

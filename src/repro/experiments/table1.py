@@ -91,7 +91,14 @@ def run(
     replicas: int = 3,
     sweep: Optional[SweepOptions] = None,
 ) -> Dict[int, Table1Row]:
-    """Sweep m per the Table 1 setup; latency/error averaged over replicas."""
+    """Sweep m per the Table 1 setup; latency/error averaged over replicas.
+
+    Under a quarantining failure policy (``--on-error quarantine``) a
+    failed cell leaves ``None`` in the sweep values; its replica is
+    skipped, and an ``m`` whose cells *all* failed is omitted from the
+    returned rows (the quarantine report in the sweep summary and run
+    log says why). With the default raise policy nothing changes.
+    """
     specs = cell_specs(m_values, n, duration_s, seed, replicas)
     cells = run_sweep("table1", specs, sweep).values
     rows: Dict[int, Table1Row] = {}
@@ -100,9 +107,13 @@ def run(
         errors = []
         for replica in range(replicas):
             cell = cells[i * replicas + replica]
+            if cell is None:  # quarantined cell: no measurement to fold in
+                continue
             if cell["latency_us"] is not None:
                 latencies.append(cell["latency_us"] / S)
             errors.append(cell["error_us"])
+        if not errors:
+            continue
         rows[m] = Table1Row(
             m=m,
             latency_s=sum(latencies) / len(latencies) if latencies else None,

@@ -39,6 +39,7 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     writes: int = 0
+    corrupt: int = 0
 
 
 @dataclass
@@ -55,13 +56,32 @@ class ResultCache:
         return os.path.join(self.root, digest[:2], f"{digest}.pkl")
 
     def get(self, spec: JobSpec) -> Tuple[bool, Optional[Any]]:
-        """``(hit, value)`` for ``spec``; unreadable entries count as misses."""
+        """``(hit, value)`` for ``spec``; unreadable entries count as misses.
+
+        A file that exists but cannot be unpickled — truncated by a
+        crashed host, bit-rotted, or written by an incompatible pickle —
+        is *deleted* and reported as a miss, so the orchestrator simply
+        re-executes the job and overwrites the entry; a corrupt cache
+        can degrade a sweep's speed but never its outcome.
+        """
         path = self.path_for(spec)
         try:
-            with open(path, "rb") as fh:
-                value = pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            fh = open(path, "rb")
+        except OSError:
             self.stats.misses += 1
+            return False, None
+        try:
+            with fh:
+                value = pickle.load(fh)
+        except Exception:
+            # Any unpickling failure means the entry is unusable; drop
+            # it so the slot is rebuilt from a fresh execution.
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
             return False, None
         self.stats.hits += 1
         return True, value

@@ -1,0 +1,216 @@
+"""The sweep failure policy: retries, backoff, timeouts, quarantine.
+
+A sweep of hundreds of long simulation jobs must survive the three ways
+a job can die — it *raises*, it *hangs*, or it *kills its worker
+process* — without giving up determinism. This module holds the pure
+data/decision side of that contract; the orchestrator
+(:mod:`repro.sweep.orchestrator`) does the actual retrying, pool
+rebuilding and draining.
+
+Determinism rules, in order of importance:
+
+* every attempt of a job re-seeds from the spec, so a job that failed
+  transiently and was retried returns byte-identical results to a
+  first-try success;
+* the retry backoff schedule is a pure function of the spec hash and the
+  attempt number (:meth:`FailurePolicy.backoff_s`) — no wall-clock
+  randomness, so two hosts retrying the same job wait the same delays;
+* failure *injection* (:func:`should_inject`) is keyed on the job's
+  canonical identity and the attempt number, so tests and CI exercise
+  the retry paths reproducibly at any worker count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.sweep.spec import JobSpec, derive_backoff_fraction
+
+#: The accepted ``on_error`` modes (see :class:`FailurePolicy`).
+ON_ERROR_MODES: Tuple[str, ...] = ("raise", "retry", "quarantine")
+
+#: Environment variable gating deterministic failure injection when no
+#: explicit ``FailurePolicy.inject`` pattern is set (same syntax).
+INJECT_ENV_VAR = "SSTSP_FAIL_INJECT"
+
+
+class JobTimeoutError(RuntimeError):
+    """One job attempt exceeded the policy's per-job wall-time budget."""
+
+
+class InjectedFailure(RuntimeError):
+    """A deterministic test failure raised by the injection hook."""
+
+
+class SweepInterrupted(RuntimeError):
+    """The sweep drained cleanly after SIGINT/SIGTERM.
+
+    Carries enough state for the caller (or the operator reading the
+    message) to resume: the manifest records exactly which jobs
+    completed, failed, or never ran.
+    """
+
+    def __init__(
+        self,
+        sweep: str,
+        completed: int,
+        total: int,
+        manifest_path: Optional[str] = None,
+    ) -> None:
+        self.sweep = sweep
+        self.completed = completed
+        self.total = total
+        self.manifest_path = manifest_path
+        hint = (
+            f" (manifest: {manifest_path}; rerun with --resume)"
+            if manifest_path
+            else ""
+        )
+        super().__init__(
+            f"sweep {sweep!r} interrupted after {completed}/{total} jobs{hint}"
+        )
+
+
+@dataclass(frozen=True)
+class FailurePolicy:
+    """How a sweep reacts when a job errors, hangs, or kills its worker.
+
+    Attributes
+    ----------
+    on_error:
+        ``"raise"`` (default) — fail the whole sweep on the first job
+        failure, exactly the pre-policy behaviour; ``"retry"`` — retry a
+        failing job up to ``max_retries`` times, then raise;
+        ``"quarantine"`` — retry, then record a structured
+        :class:`JobFailure` and keep the sweep going (the job's result
+        slot stays ``None``).
+    max_retries:
+        Extra attempts after the first, consumed by job errors, timeouts
+        and worker crashes alike. Ignored under ``on_error="raise"``.
+    timeout_s:
+        Per-*attempt* wall-time budget enforced inside the worker via
+        ``SIGALRM`` (None disables). A timed-out attempt counts as a
+        failure and follows the same retry/quarantine path.
+    backoff_base_s / backoff_cap_s:
+        Deterministic exponential backoff between attempts: attempt
+        ``k`` (k >= 2) waits ``base * 2**(k-2)`` scaled by a jitter in
+        ``[0.5, 1.0)`` derived from the spec hash, capped at the cap.
+    inject:
+        Deterministic failure-injection pattern ``"<substr>:<k>"`` —
+        fail the first ``k`` attempts of every job whose canonical
+        ``job_key`` contains ``substr`` (``"*"`` matches every job).
+        ``None`` falls back to the ``SSTSP_FAIL_INJECT`` environment
+        variable; injection is off when both are unset.
+    """
+
+    on_error: str = "raise"
+    max_retries: int = 2
+    timeout_s: Optional[float] = None
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 5.0
+    inject: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.on_error not in ON_ERROR_MODES:
+            raise ValueError(
+                f"on_error must be one of {ON_ERROR_MODES}, got {self.on_error!r}"
+            )
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive (or None)")
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise ValueError("backoff delays must be >= 0")
+        if self.inject is not None:
+            parse_injection(self.inject)  # validate eagerly, fail at build time
+
+    @property
+    def attempts(self) -> int:
+        """Total attempts a job may consume before the policy gives up."""
+        return 1 if self.on_error == "raise" else 1 + self.max_retries
+
+    def backoff_s(self, spec: JobSpec, attempt: int) -> float:
+        """Delay before running ``attempt`` (>= 2) of ``spec``.
+
+        A pure function of the spec and the attempt number: exponential
+        in the attempt, jittered by a hash-derived fraction so a sweep's
+        retries do not stampede in lockstep, capped at
+        ``backoff_cap_s``. Never reads a clock or an RNG.
+        """
+        if attempt < 2:
+            return 0.0
+        base = self.backoff_base_s * (2.0 ** (attempt - 2))
+        jitter = 0.5 + 0.5 * derive_backoff_fraction(spec.spec_hash(), attempt)
+        return min(self.backoff_cap_s, base * jitter)
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """One job the sweep gave up on (quarantined), as structured data."""
+
+    seq: int
+    kind: str
+    hash: str
+    job_key: str
+    reason: str  # "error" | "timeout" | "worker_crash" | "injected"
+    attempts: int
+    message: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready projection (run logs, manifests, reports)."""
+        return {
+            "seq": self.seq,
+            "kind": self.kind,
+            "hash": self.hash,
+            "reason": self.reason,
+            "attempts": self.attempts,
+            "message": self.message,
+        }
+
+
+def parse_injection(text: str) -> Tuple[str, int]:
+    """Parse an injection pattern ``"<substr>:<k>"``.
+
+    The split is from the right so ``substr`` may itself contain colons
+    (canonical job keys do). Raises ``ValueError`` on malformed input.
+    """
+    match, sep, count_text = text.rpartition(":")
+    if not sep or not match:
+        raise ValueError(
+            f"bad injection pattern {text!r} (expected '<substr>:<k>')"
+        )
+    try:
+        count = int(count_text)
+    except ValueError:
+        raise ValueError(
+            f"bad injection count in {text!r} (expected '<substr>:<k>')"
+        ) from None
+    if count < 0:
+        raise ValueError(f"injection count must be >= 0, got {count}")
+    return match, count
+
+
+def should_inject(spec: JobSpec, attempt: int, pattern: Optional[str]) -> bool:
+    """Whether attempt ``attempt`` of ``spec`` must fail under ``pattern``.
+
+    Pure in every input: the same (spec, attempt, pattern) triple always
+    answers the same, whatever process or worker evaluates it.
+    """
+    if pattern is None or attempt < 1:
+        return False
+    match, count = parse_injection(pattern)
+    if attempt > count:
+        return False
+    return match == "*" or match in spec.job_key
+
+
+def maybe_inject_failure(
+    spec: JobSpec, attempt: int, pattern: Optional[str]
+) -> None:
+    """Raise :class:`InjectedFailure` when the pattern says this attempt dies."""
+    if should_inject(spec, attempt, pattern):
+        raise InjectedFailure(
+            f"injected failure (attempt {attempt}) for {spec.kind}-"
+            f"{spec.spec_hash()[:16]}"
+        )

@@ -18,8 +18,10 @@ A job function takes the spec and returns a picklable result:
 from __future__ import annotations
 
 import importlib
-from typing import Any, Callable, Dict
+import os
+from typing import Any, Callable, Dict, Optional
 
+from repro.sweep.failpolicy import INJECT_ENV_VAR, maybe_inject_failure
 from repro.sweep.spec import JobSpec
 
 #: Built-in job kinds. Experiment-layer functions are referenced by
@@ -67,6 +69,19 @@ def resolve_job(kind: str) -> Callable[[JobSpec], Any]:
         raise ImportError(f"{path!r} names no function {func_name!r}") from None
 
 
-def execute_job(spec: JobSpec) -> Any:
-    """Resolve and run one job (the function workers execute)."""
+def execute_job(
+    spec: JobSpec, attempt: int = 1, inject: Optional[str] = None
+) -> Any:
+    """Resolve and run one job (the function workers execute).
+
+    ``attempt`` is 1-based and only feeds the deterministic
+    failure-injection hook: an explicit ``inject`` pattern (normally the
+    orchestrator's ``FailurePolicy.inject``), or the ``SSTSP_FAIL_INJECT``
+    environment variable when none is given, fails the first *k* attempts
+    of matching jobs (:func:`repro.sweep.failpolicy.should_inject`) so
+    retry paths are exercised reproducibly. Results never depend on
+    ``attempt`` — every attempt re-seeds from the spec alone.
+    """
+    pattern = inject if inject is not None else os.environ.get(INJECT_ENV_VAR)
+    maybe_inject_failure(spec, attempt, pattern)
     return resolve_job(spec.kind)(spec)

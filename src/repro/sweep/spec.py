@@ -66,6 +66,20 @@ def derive_seed(root_seed: int, job_key: str) -> int:
     return int.from_bytes(digest[:8], "big") >> 1
 
 
+def derive_backoff_fraction(spec_hash: str, attempt: int) -> float:
+    """A jitter fraction in ``[0, 1)``, pure in ``(spec_hash, attempt)``.
+
+    The retry backoff schedule (:mod:`repro.sweep.failpolicy`) scales its
+    exponential delays by this value so concurrent retries de-correlate
+    — without drawing from any RNG or reading a clock, which would break
+    the rule that nothing in a sweep's behaviour depends on host state.
+    """
+    digest = hashlib.sha256(
+        f"{spec_hash}\x1f{attempt}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0**64
+
+
 @dataclass(frozen=True)
 class JobSpec:
     """One frozen, hashable unit of sweep work.
