@@ -39,6 +39,53 @@ def pytest_addoption(parser):
         "benchmark that replays pickles measures the cache, not the "
         "simulator)",
     )
+    parser.addoption(
+        "--bench-json",
+        default=None,
+        metavar="PATH",
+        help="serialize per-benchmark wall-time medians and numeric "
+        "extra_info accuracy metrics to a schema-versioned BENCH json "
+        "(compare against a baseline with `repro bench-gate`)",
+    )
+    parser.addoption(
+        "--bench-label",
+        default="local",
+        help="label recorded in the --bench-json file (e.g. the PR number)",
+    )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Emit the ``--bench-json`` trajectory file from this session's
+    pytest-benchmark records (see ``repro.analysis.benchgate``)."""
+    path = session.config.getoption("--bench-json")
+    if not path:
+        return
+    from repro.analysis.benchgate import bench_record, write_bench_json
+
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    records = []
+    for bench in getattr(bench_session, "benchmarks", []):
+        if bench.has_error or not bench.stats.rounds:
+            continue
+        stats = bench.stats
+        records.append(
+            bench_record(
+                fullname=bench.fullname,
+                median_s=stats.median,
+                mean_s=stats.mean,
+                stddev_s=stats.stddev if stats.rounds > 1 else 0.0,
+                min_s=stats.min,
+                rounds=stats.rounds,
+                iterations=bench.iterations,
+                group=bench.group,
+                extra_info=dict(bench.extra_info),
+            )
+        )
+    out = write_bench_json(
+        path, session.config.getoption("--bench-label"), records
+    )
+    print(f"\nbench json: {len(records)} benchmark(s) written to {out}",
+          file=sys.stderr)
 
 
 @pytest.fixture

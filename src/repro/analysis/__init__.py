@@ -1,8 +1,16 @@
-"""Analysis: metrics, convergence bounds, overhead models.
+"""Analysis: metrics, statistics, convergence bounds, overhead models.
 
 * :mod:`repro.analysis.metrics` - the paper's headline metric (maximum
   clock difference between any two nodes, per BP), trace containers,
   synchronization-latency extraction and the no-leap audit.
+* :mod:`repro.analysis.stats` - deterministic summary statistics for
+  sweep roll-ups: seeded-bootstrap and Student-t confidence intervals,
+  paired seed-matched comparisons with effect sizes, missing-cell
+  (quarantine) tolerance.
+* :mod:`repro.analysis.cli` - the ``repro analyze`` command turning
+  sweep output into byte-stable summary tables (CSV + markdown).
+* :mod:`repro.analysis.benchgate` - the benchmark-trajectory gate:
+  ``BENCH_*.json`` serialization and the ``repro bench-gate`` compare.
 * :mod:`repro.analysis.overhead` - traffic and storage overhead models of
   section 3.4 (56 vs 92-byte beacons, hash-chain storage strategies,
   receiver buffering).
@@ -30,8 +38,26 @@ from repro.analysis.replication import (
     replicate,
     summarize,
 )
+from repro.analysis.stats import (
+    Interval,
+    PairedStats,
+    SummaryStats,
+    bootstrap_ci_mean,
+    clean_values,
+    paired_stats,
+    summarize_values,
+    t_interval,
+)
 
 __all__ = [
+    "Interval",
+    "PairedStats",
+    "SummaryStats",
+    "bootstrap_ci_mean",
+    "clean_values",
+    "paired_stats",
+    "summarize_values",
+    "t_interval",
     "SyncTrace",
     "TraceRecorder",
     "max_pairwise_difference",

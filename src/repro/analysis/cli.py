@@ -1,0 +1,510 @@
+"""``repro analyze`` — statistical roll-ups of sweep output.
+
+Subcommands
+-----------
+
+``table1``
+    Re-resolve the Table 1 ``m x replica`` grid through the sweep
+    orchestrator (a warm cache serves every cell without executing
+    anything) and emit the **Table-1-with-CIs** view: per-``m`` mean /
+    median / Student-t and seeded-bootstrap 95% intervals over the
+    replicas, side by side with the paper's numbers, plus a
+    failure/quarantine digest from the PR 6 failure records. Writes
+    ``results/analysis/<name>_summary.csv`` / ``.md`` and
+    ``<name>_failures.csv``.
+``log``
+    Roll one sweep run log (the JSONL written under
+    ``results/sweep_logs/``) into per-kind job/wall-time tables, a
+    resilience digest (retries, quarantines, worker crashes), and the
+    merged metrics-registry roll-up (``merge_snapshots`` over every
+    ``job_obs`` record). Writes ``<name>_log_summary.csv`` / ``.md`` and
+    ``<name>_log_metrics.csv``.
+
+Every emitted file is **byte-stable**: floats are serialized with
+``repr`` in CSVs and fixed formats in markdown, rows are sorted, and the
+bootstrap is seeded — so the same sweep analyzed at any worker count, or
+after a ``--resume``, produces identical bytes (pinned in
+``tests/test_analyze_cli.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.stats import SummaryStats, summarize_values
+from repro.obs.registry import merge_snapshots, snapshot_rows
+from repro.sim.units import S
+from repro.sweep import run_sweep, sweep_options_from_args
+from repro.sweep.failpolicy import JobFailure
+
+#: Subdirectory of the results dir receiving analysis tables.
+ANALYSIS_SUBDIR = "analysis"
+
+
+def ensure_analysis_dir() -> str:
+    """Create (if needed) and return ``results/analysis``."""
+    from repro.experiments.report import ensure_results_dir
+
+    path = os.path.join(ensure_results_dir(), ANALYSIS_SUBDIR)
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def _write_text(path: str, text: str) -> str:
+    """Write ``text`` exactly (byte-stable: LF newlines, utf-8)."""
+    with open(path, "w", encoding="utf-8", newline="\n") as fh:
+        fh.write(text)
+    return path
+
+
+def _fmt(value: Optional[float], digits: int = 4) -> str:
+    """Markdown cell format: fixed significant digits, 'n/a' for None."""
+    if value is None:
+        return "n/a"
+    if math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    return f"{value:.{digits}g}"
+
+
+def _ci_cell(stats_obj: SummaryStats, scale: float = 1.0) -> str:
+    """``[low, high]`` markdown cell of a summary's t interval."""
+    low, high = stats_obj.t_ci.low, stats_obj.t_ci.high
+    return f"[{_fmt(low / scale if math.isfinite(low) else low)}, " \
+           f"{_fmt(high / scale if math.isfinite(high) else high)}]"
+
+
+def markdown_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """A GitHub-style markdown table (deterministic bytes).
+
+    Cell text is pipe-escaped — metric keys like ``name|node=2`` must
+    not open a new column.
+    """
+    def cell(text: str) -> str:
+        return text.replace("|", "\\|")
+
+    lines = [
+        "| " + " | ".join(cell(h) for h in headers) + " |",
+        "|" + "|".join(" --- " for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(cell(c) for c in row) + " |")
+    return "\n".join(lines)
+
+
+def _stat_csv_fields(stats_obj: Optional[SummaryStats], scale: float = 1.0) -> List[str]:
+    """CSV cells (repr floats) for one metric summary; blank when absent."""
+    if stats_obj is None:
+        return [""] * 8
+    def scaled(value: float) -> str:
+        return repr(value / scale if math.isfinite(value) else value)
+    return [
+        str(stats_obj.n),
+        scaled(stats_obj.mean),
+        scaled(stats_obj.median),
+        scaled(stats_obj.std),
+        scaled(stats_obj.t_ci.low),
+        scaled(stats_obj.t_ci.high),
+        scaled(stats_obj.bootstrap_ci.low),
+        scaled(stats_obj.bootstrap_ci.high),
+    ]
+
+
+# ----------------------------------------------------------------------
+# analyze table1
+# ----------------------------------------------------------------------
+
+
+def failures_csv_text(failures: Sequence[JobFailure]) -> str:
+    """The quarantine digest as CSV (header always present)."""
+    lines = ["seq,kind,hash,reason,attempts,message"]
+    for failure in sorted(failures, key=lambda f: f.seq):
+        message = failure.message.replace("\n", " ").replace(",", ";")
+        lines.append(
+            f"{failure.seq},{failure.kind},{failure.hash},"
+            f"{failure.reason},{failure.attempts},{message}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def table1_summaries(
+    m_values: Sequence[int],
+    cells: Sequence[Optional[Dict[str, Any]]],
+    replicas: int,
+) -> "List[Tuple[int, int, int, Optional[SummaryStats], Optional[SummaryStats]]]":
+    """Per-``m`` roll-up of raw Table 1 cells.
+
+    Returns ``(m, quarantined, unsynced, latency_stats, error_stats)``
+    tuples; a fully-quarantined ``m`` keeps its row with ``None`` stats
+    (downstream tables must tolerate missing cells, not raise — the
+    PR 6 contract).
+    """
+    rows = []
+    for i, m in enumerate(m_values):
+        latencies: List[Optional[float]] = []
+        errors: List[Optional[float]] = []
+        quarantined = 0
+        unsynced = 0
+        for replica in range(replicas):
+            cell = cells[i * replicas + replica]
+            if cell is None:  # quarantined cell: a None gap, not an error
+                quarantined += 1
+                continue
+            if cell["latency_us"] is None:
+                unsynced += 1
+            else:
+                latencies.append(cell["latency_us"])
+            errors.append(cell["error_us"])
+        latency_stats = summarize_values(latencies) if latencies else None
+        error_stats = summarize_values(errors) if errors else None
+        rows.append((m, quarantined, unsynced, latency_stats, error_stats))
+    return rows
+
+
+def table1_summary_csv_text(
+    rows: Sequence[Tuple[int, int, int, Optional[SummaryStats], Optional[SummaryStats]]],
+    replicas: int,
+) -> str:
+    """The Table-1-with-CIs summary as CSV (repr floats; latency in s)."""
+    header = (
+        "m,cells,quarantined,unsynced,"
+        "latency_n,latency_mean_s,latency_median_s,latency_std_s,"
+        "latency_t_lo_s,latency_t_hi_s,latency_boot_lo_s,latency_boot_hi_s,"
+        "error_n,error_mean_us,error_median_us,error_std_us,"
+        "error_t_lo_us,error_t_hi_us,error_boot_lo_us,error_boot_hi_us"
+    )
+    lines = [header]
+    for m, quarantined, unsynced, latency_stats, error_stats in rows:
+        cells = [str(m), str(replicas), str(quarantined), str(unsynced)]
+        cells += _stat_csv_fields(latency_stats, scale=S)
+        cells += _stat_csv_fields(error_stats)
+        lines.append(",".join(cells))
+    return "\n".join(lines) + "\n"
+
+
+def table1_summary_md_text(
+    rows: Sequence[Tuple[int, int, int, Optional[SummaryStats], Optional[SummaryStats]]],
+    replicas: int,
+    failures: Sequence[JobFailure],
+) -> str:
+    """The Table-1-with-CIs view as markdown, plus the failure digest."""
+    from repro.experiments.table1 import PAPER_ROWS
+
+    headers = [
+        "m", "latency (s)", "latency 95% CI (s)",
+        "error (us)", "error 95% CI (us)",
+        "paper latency (s)", "paper error (us)", "n", "missing",
+    ]
+    body: List[List[str]] = []
+    for m, quarantined, unsynced, latency_stats, error_stats in rows:
+        paper_latency, paper_error = PAPER_ROWS.get(m, (None, None))
+        body.append([
+            str(m),
+            _fmt(latency_stats.mean / S) if latency_stats else "n/a",
+            _ci_cell(latency_stats, scale=S) if latency_stats else "n/a",
+            _fmt(error_stats.mean) if error_stats else "n/a",
+            _ci_cell(error_stats) if error_stats else "n/a",
+            _fmt(paper_latency),
+            _fmt(paper_error),
+            str(error_stats.n if error_stats else 0),
+            str(quarantined + unsynced),
+        ])
+    parts = [
+        "# Table 1 with confidence intervals",
+        "",
+        f"Replicas per m: {replicas}. Intervals are two-sided 95% "
+        "(Student-t; the CSV adds the seeded-bootstrap interval). "
+        "`missing` counts quarantined cells plus replicas that never "
+        "reached the 25 us threshold.",
+        "",
+        markdown_table(headers, body),
+        "",
+        "## Failure digest",
+        "",
+    ]
+    if failures:
+        parts.append(markdown_table(
+            ["seq", "kind", "hash", "reason", "attempts"],
+            [
+                [str(f.seq), f.kind, f.hash, f.reason, str(f.attempts)]
+                for f in sorted(failures, key=lambda f: f.seq)
+            ],
+        ))
+    else:
+        parts.append("No quarantined jobs.")
+    return "\n".join(parts) + "\n"
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.experiments.table1 import cell_specs
+
+    replicas = args.replicas
+    specs = cell_specs(
+        args.m_values, args.nodes, args.duration, args.seed, replicas
+    )
+    result = run_sweep(f"{args.name}_analyze", specs, sweep_options_from_args(args))
+    rows = table1_summaries(args.m_values, result.values, replicas)
+    out_dir = ensure_analysis_dir()
+    csv_text = table1_summary_csv_text(rows, replicas)
+    md_text = table1_summary_md_text(rows, replicas, result.failures)
+    csv_path = _write_text(
+        os.path.join(out_dir, f"{args.name}_summary.csv"), csv_text
+    )
+    md_path = _write_text(
+        os.path.join(out_dir, f"{args.name}_summary.md"), md_text
+    )
+    failures_path = _write_text(
+        os.path.join(out_dir, f"{args.name}_failures.csv"),
+        failures_csv_text(result.failures),
+    )
+    print(md_text)
+    print(f"summary CSV:  {csv_path}")
+    print(f"summary MD:   {md_path}")
+    print(f"failures CSV: {failures_path}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# analyze log
+# ----------------------------------------------------------------------
+
+
+def read_run_log(path: str) -> List[Dict[str, Any]]:
+    """All records of one sweep run log (JSONL, in file order)."""
+    records = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def log_kind_rows(
+    records: Sequence[Dict[str, Any]],
+) -> List[Tuple[str, int, int, Optional[SummaryStats]]]:
+    """Per-kind ``(kind, jobs, cache_hits, miss_wall_stats)`` rows.
+
+    Wall-time statistics cover executed (cache-miss) jobs only — a hit's
+    wall time measures the pickle loader, not the simulator.
+    """
+    jobs: Dict[str, int] = {}
+    hits: Dict[str, int] = {}
+    walls: Dict[str, List[float]] = {}
+    for record in records:
+        if record.get("event") != "job":
+            continue
+        kind = record.get("kind", "?")
+        jobs[kind] = jobs.get(kind, 0) + 1
+        if record.get("cache") == "hit":
+            hits[kind] = hits.get(kind, 0) + 1
+        else:
+            walls.setdefault(kind, []).append(float(record.get("wall_s", 0.0)))
+    rows: List[Tuple[str, int, int, Optional[SummaryStats]]] = []
+    for kind in sorted(jobs):
+        wall_values = walls.get(kind, [])
+        rows.append((
+            kind,
+            jobs[kind],
+            hits.get(kind, 0),
+            summarize_values(wall_values) if wall_values else None,
+        ))
+    return rows
+
+
+def log_resilience_counts(records: Sequence[Dict[str, Any]]) -> Dict[str, int]:
+    """Counts of the PR 6 resilience events in one run log."""
+    counts = {
+        "job_retry": 0,
+        "job_quarantined": 0,
+        "worker_crash": 0,
+        "sweep_interrupted": 0,
+    }
+    for record in records:
+        event = record.get("event")
+        if event in counts:
+            counts[event] += 1
+    return counts
+
+
+def log_merged_metrics(records: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """``merge_snapshots`` roll-up of every ``job_obs`` metrics snapshot."""
+    total: Dict[str, Any] = {}
+    for record in records:
+        if record.get("event") == "job_obs" and "metrics" in record:
+            merge_snapshots(total, record["metrics"])
+    return total
+
+
+def log_summary_csv_text(
+    kind_rows: Sequence[Tuple[str, int, int, Optional[SummaryStats]]],
+    resilience: Dict[str, int],
+) -> str:
+    """Per-kind roll-up CSV plus resilience counter rows."""
+    header = (
+        "kind,jobs,cache_hits,executed,"
+        "wall_n,wall_mean_s,wall_median_s,wall_std_s,"
+        "wall_t_lo_s,wall_t_hi_s,wall_boot_lo_s,wall_boot_hi_s"
+    )
+    lines = [header]
+    for kind, jobs, hits, wall_stats in kind_rows:
+        cells = [kind, str(jobs), str(hits), str(jobs - hits)]
+        cells += _stat_csv_fields(wall_stats)
+        lines.append(",".join(cells))
+    for key in sorted(resilience):
+        lines.append(f"#{key},{resilience[key]},,,,,,,,,,")
+    return "\n".join(lines) + "\n"
+
+
+def log_metrics_csv_text(metrics: Dict[str, Any]) -> str:
+    """The merged metrics roll-up as flat CSV rows (repr floats)."""
+    lines = ["section,metric,field,value"]
+    for section, metric, stat_field, value in snapshot_rows(metrics):
+        lines.append(f"{section},{metric},{stat_field},{value!r}")
+    return "\n".join(lines) + "\n"
+
+
+def log_summary_md_text(
+    source: str,
+    kind_rows: Sequence[Tuple[str, int, int, Optional[SummaryStats]]],
+    resilience: Dict[str, int],
+    metrics: Dict[str, Any],
+) -> str:
+    """The run-log roll-up as markdown."""
+    parts = [
+        "# Sweep run-log summary",
+        "",
+        f"Source: `{source}`",
+        "",
+        "## Jobs by kind",
+        "",
+        markdown_table(
+            ["kind", "jobs", "cache hits", "executed",
+             "wall mean (s)", "wall median (s)", "wall 95% CI (s)"],
+            [
+                [
+                    kind, str(jobs), str(hits), str(jobs - hits),
+                    _fmt(wall.mean) if wall else "n/a",
+                    _fmt(wall.median) if wall else "n/a",
+                    _ci_cell(wall) if wall else "n/a",
+                ]
+                for kind, jobs, hits, wall in kind_rows
+            ],
+        ),
+        "",
+        "## Resilience",
+        "",
+        markdown_table(
+            ["event", "count"],
+            [[key, str(resilience[key])] for key in sorted(resilience)],
+        ),
+        "",
+        "## Metrics roll-up",
+        "",
+    ]
+    rows = snapshot_rows(metrics)
+    if rows:
+        parts.append(markdown_table(
+            ["section", "metric", "field", "value"],
+            [[s, m, f, _fmt(v, digits=9)] for s, m, f, v in rows],
+        ))
+    else:
+        parts.append("No `job_obs` metrics in this log (run with `--trace-dir`).")
+    return "\n".join(parts) + "\n"
+
+
+def _cmd_log(args: argparse.Namespace) -> int:
+    records = read_run_log(args.log)
+    name = args.name
+    if name is None:
+        name = os.path.splitext(os.path.basename(args.log))[0]
+    kind_rows = log_kind_rows(records)
+    resilience = log_resilience_counts(records)
+    metrics = log_merged_metrics(records)
+    out_dir = ensure_analysis_dir()
+    # Basename only: the emitted bytes must not depend on where the log
+    # happened to live (the golden-fixture tests byte-compare them).
+    md_text = log_summary_md_text(
+        os.path.basename(args.log), kind_rows, resilience, metrics
+    )
+    csv_path = _write_text(
+        os.path.join(out_dir, f"{name}_log_summary.csv"),
+        log_summary_csv_text(kind_rows, resilience),
+    )
+    metrics_path = _write_text(
+        os.path.join(out_dir, f"{name}_log_metrics.csv"),
+        log_metrics_csv_text(metrics),
+    )
+    md_path = _write_text(os.path.join(out_dir, f"{name}_log_summary.md"), md_text)
+    print(md_text)
+    print(f"summary CSV: {csv_path}")
+    print(f"metrics CSV: {metrics_path}")
+    print(f"summary MD:  {md_path}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# entry point
+# ----------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro analyze`` argument parser (table1 / log)."""
+    from repro.experiments.table1 import _parse_m_values
+    from repro.sweep import add_sweep_arguments
+
+    parser = argparse.ArgumentParser(
+        prog="repro analyze",
+        description="Roll sweep output into summary tables with CIs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_table1 = sub.add_parser(
+        "table1", help="Table-1-with-CIs view over the m x replica grid"
+    )
+    p_table1.add_argument("--nodes", type=int, default=100)
+    p_table1.add_argument("--seed", type=int, default=1)
+    p_table1.add_argument(
+        "-m", "--m-values", type=_parse_m_values, default=(1, 2, 3, 4, 5),
+        dest="m_values", metavar="M1,M2,...",
+        help="comma-separated m values (default 1,2,3,4,5)",
+    )
+    p_table1.add_argument(
+        "--duration", type=float, default=60.0, metavar="S",
+        help="scenario duration per cell in seconds",
+    )
+    p_table1.add_argument(
+        "--replicas", type=int, default=3,
+        help="replicas per m (default 3; more replicas, tighter CIs)",
+    )
+    p_table1.add_argument(
+        "--name", default="table1",
+        help="output stem under results/analysis/ (default table1)",
+    )
+    add_sweep_arguments(p_table1)
+    p_table1.set_defaults(func=_cmd_table1)
+
+    p_log = sub.add_parser(
+        "log", help="roll one sweep run log (JSONL) into summary tables"
+    )
+    p_log.add_argument("log", help="run-log JSONL path (results/sweep_logs/...)")
+    p_log.add_argument(
+        "--name", default=None,
+        help="output stem under results/analysis/ (default: log file stem)",
+    )
+    p_log.set_defaults(func=_cmd_log)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the subcommand's exit code."""
+    args = build_parser().parse_args(argv)
+    return int(args.func(args))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

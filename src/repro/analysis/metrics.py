@@ -24,10 +24,19 @@ from repro.sim.units import S
 INDUSTRY_THRESHOLD_US: float = 25.0
 
 
-def max_pairwise_difference(values: Sequence[float]) -> float:
+def max_pairwise_difference(values: Sequence[Optional[float]]) -> float:
     """``max_i x_i - min_i x_i``: the maximum difference between any two
-    clocks read at the same instant (0.0 for fewer than two values)."""
-    arr = np.asarray(values, dtype=np.float64)
+    clocks read at the same instant (0.0 for fewer than two values).
+
+    ``None`` entries and NaN gaps are ignored: a quarantined sweep cell
+    (PR 6) or an absent node leaves a hole in the value vector, and a
+    hole carries no clock reading to compare — it must not poison the
+    spread of the nodes that *are* present.
+    """
+    arr = np.asarray(
+        [v for v in values if v is not None], dtype=np.float64
+    )
+    arr = arr[np.isfinite(arr)]
     if arr.size < 2:
         return 0.0
     return float(arr.max() - arr.min())
@@ -122,11 +131,21 @@ class SyncTrace:
         if not len(self):
             raise ValueError("steady_state_error_us on an empty trace")
         skip = min(int(len(self) * skip_fraction), len(self) - 1)
-        return float(np.median(self.max_diff_us[skip:]))
+        tail = self.max_diff_us[skip:]
+        finite = tail[np.isfinite(tail)]
+        if not finite.size:
+            raise ValueError(
+                "steady_state_error_us: every post-transient sample is a "
+                "NaN gap (all contributing cells missing/quarantined)"
+            )
+        return float(np.median(finite))
 
     def peak_error_us(self) -> float:
-        """Worst max-difference over the whole trace."""
-        return float(self.max_diff_us.max()) if len(self) else math.nan
+        """Worst max-difference over the whole trace (NaN gaps ignored)."""
+        if not len(self):
+            return math.nan
+        finite = self.max_diff_us[np.isfinite(self.max_diff_us)]
+        return float(finite.max()) if finite.size else math.nan
 
     def reference_changes(self) -> int:
         """Number of times the believed reference station changed."""

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Sequence, Tuple
+from typing import Callable, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -54,9 +54,18 @@ def t975(df: int) -> float:
     return _T975[df - 1] if df <= len(_T975) else 1.96
 
 
-def summarize(values: Sequence[float]) -> ReplicaSummary:
-    """Mean / sample std / t-based 95% CI half-width of ``values``."""
-    arr = np.asarray(list(values), dtype=np.float64)
+def summarize(values: Sequence[Optional[float]]) -> ReplicaSummary:
+    """Mean / sample std / t-based 95% CI half-width of ``values``.
+
+    ``None`` entries and NaN gaps — quarantined sweep cells (PR 6) leave
+    them in value lists — are dropped rather than raised on: the summary
+    covers the replicas that actually produced a measurement. Raises
+    only when nothing survives.
+    """
+    arr = np.asarray(
+        [v for v in values if v is not None], dtype=np.float64
+    )
+    arr = arr[np.isfinite(arr)]
     if arr.size == 0:
         raise ValueError("need at least one replica")
     mean = float(arr.mean())

@@ -61,8 +61,10 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "lint", "trace"],
-        help="which table/figure to regenerate ('lint' runs reprolint, "
+        choices=sorted(EXPERIMENTS) + ["all", "analyze", "bench-gate", "lint", "trace"],
+        help="which table/figure to regenerate ('analyze' rolls sweep "
+        "output into summary tables with CIs; 'bench-gate' compares a "
+        "BENCH_*.json against a baseline; 'lint' runs reprolint, "
         "the determinism/unit-safety static analysis; 'trace' inspects "
         "event-trace JSONL files)",
     )
@@ -75,6 +77,14 @@ def main(argv=None) -> int:
         from repro.obs.cli import main as trace_main
 
         return trace_main(passthrough)
+    if args.experiment == "analyze":
+        from repro.analysis.cli import main as analyze_main
+
+        return analyze_main(passthrough)
+    if args.experiment == "bench-gate":
+        from repro.analysis.benchgate import main as benchgate_main
+
+        return benchgate_main(passthrough)
     if args.experiment == "all":
         for name in (
             "fig1", "fig2", "table1", "fig3", "fig4",

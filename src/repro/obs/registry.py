@@ -29,7 +29,7 @@ are ``events.<event_name>``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 
 def _key(name: str, node: Optional[int]) -> str:
@@ -124,6 +124,24 @@ class MetricsRegistry:
                 for k in sorted(self._histograms)
             },
         }
+
+
+def snapshot_rows(snapshot: Dict[str, Any]) -> List[Tuple[str, str, str, float]]:
+    """Flatten a snapshot into deterministic ``(section, metric, field,
+    value)`` rows — counters, then gauges, then histograms, each sorted
+    by metric key. ``repro analyze`` renders sweep metrics roll-ups from
+    these rows, so their order (and therefore the emitted table bytes)
+    is a pure function of the snapshot's contents."""
+    rows: List[Tuple[str, str, str, float]] = []
+    for key in sorted(snapshot.get("counters", {})):
+        rows.append(("counter", key, "count", float(snapshot["counters"][key])))
+    for key in sorted(snapshot.get("gauges", {})):
+        rows.append(("gauge", key, "value", float(snapshot["gauges"][key])))
+    for key in sorted(snapshot.get("histograms", {})):
+        summary = snapshot["histograms"][key]
+        for stat_field in ("count", "sum", "min", "max"):
+            rows.append(("histogram", key, stat_field, float(summary[stat_field])))
+    return rows
 
 
 def merge_snapshots(total: Dict[str, Any], part: Dict[str, Any]) -> Dict[str, Any]:

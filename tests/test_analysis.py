@@ -111,6 +111,48 @@ class TestMetrics:
         assert rows == [(0.1, 4.0)]
 
 
+class TestQuarantineGaps:
+    """Summary helpers must tolerate None/NaN holes, not raise.
+
+    A quarantined sweep cell (PR 6) leaves ``None`` in value lists and
+    NaN samples in assembled traces; analysis over the surviving cells
+    has to keep working.
+    """
+
+    @staticmethod
+    def gap_trace(max_diffs):
+        # Build the trace directly: the recorder derives max_diff via
+        # max_pairwise_difference, which (correctly) maps a gapped
+        # sample to 0.0 rather than propagating the NaN.
+        n = len(max_diffs)
+        return SyncTrace(
+            np.arange(1, n + 1, dtype=np.float64) * 100_000.0,
+            np.asarray(max_diffs, dtype=np.float64),
+            np.zeros(n),
+            np.full(n, 2, dtype=int),
+            np.full(n, 3, dtype=int),
+        )
+
+    def test_max_pairwise_ignores_none_and_nan(self):
+        assert max_pairwise_difference([5.0, None, 1.0, float("nan")]) == 4.0
+        assert max_pairwise_difference([None, float("nan")]) == 0.0
+        assert max_pairwise_difference([3.0, None]) == 0.0
+
+    def test_steady_state_skips_nan_gaps(self):
+        trace = self.gap_trace([100.0] * 25 + [5.0, float("nan")] * 38)
+        with np.errstate(all="raise"):
+            assert trace.steady_state_error_us() == 5.0
+
+    def test_steady_state_all_gaps_raises_not_nan(self):
+        trace = self.gap_trace([float("nan")] * 4)
+        with pytest.raises(ValueError, match="NaN gap"):
+            trace.steady_state_error_us()
+
+    def test_peak_ignores_nan_gaps(self):
+        assert self.gap_trace([1.0, float("nan"), 9.0]).peak_error_us() == 9.0
+        assert np.isnan(self.gap_trace([float("nan")] * 3).peak_error_us())
+
+
 class TestSyncLatency:
     def test_basic(self):
         trace = make_trace([50, 40, 30, 20, 10, 5, 5, 5, 5, 5])

@@ -1,0 +1,153 @@
+"""Golden-fixture and determinism tests for ``repro analyze``.
+
+The CLI's contract is byte-stability: the same sweep analyzed at any
+worker count, or resumed after an injected failure, must emit identical
+bytes. These tests pin that by comparing every emitted file against
+committed goldens under ``tests/data/``.
+
+Regenerating the goldens (only after an intentional format change)::
+
+    SSTSP_RESULTS_DIR=/tmp/regen PYTHONPATH=src python -m repro analyze \
+        table1 --nodes 12 --duration 5 -m 1,2 --replicas 2 --seed 3 \
+        --no-cache
+    cp /tmp/regen/analysis/table1_summary.csv \
+        tests/data/analyze_table1/golden_summary.csv   # etc.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis import cli
+from repro.sweep.failpolicy import INJECT_ENV_VAR
+
+DATA_DIR = os.path.join(os.path.dirname(__file__), "data")
+GOLDEN_TABLE1 = os.path.join(DATA_DIR, "analyze_table1")
+GOLDEN_LOG = os.path.join(DATA_DIR, "analyze_log")
+
+#: The grid the table1 goldens were generated from (small enough for CI,
+#: large enough that both m rows have live statistics).
+TABLE1_ARGS = [
+    "table1", "--nodes", "12", "--duration", "5", "-m", "1,2",
+    "--replicas", "2", "--seed", "3",
+]
+
+#: Matches exactly one job_key of the grid above (m=1, replica seed
+#: 1003); a count far above --retries forces quarantine.
+INJECT_ONE_CELL = '"m":1,"n":12,"seed":1003:9'
+
+
+def read_bytes(path: str) -> bytes:
+    with open(path, "rb") as fh:
+        return fh.read()
+
+
+def run_table1(tmp_path, monkeypatch, subdir: str, extra):
+    """Run ``repro analyze table1`` into an isolated results dir."""
+    results = tmp_path / subdir
+    monkeypatch.setenv("SSTSP_RESULTS_DIR", str(results))
+    assert cli.main(TABLE1_ARGS + list(extra)) == 0
+    return results / "analysis"
+
+
+def assert_outputs_match(out_dir, golden_dir: str) -> None:
+    pairs = [
+        ("table1_summary.csv", "golden_summary.csv"),
+        ("table1_summary.md", "golden_summary.md"),
+        ("table1_failures.csv", "golden_failures.csv"),
+    ]
+    for produced, golden in pairs:
+        assert read_bytes(str(out_dir / produced)) == read_bytes(
+            os.path.join(golden_dir, golden)
+        ), f"{produced} diverged from {golden}"
+
+
+class TestTable1Golden:
+    def test_matches_committed_golden(self, tmp_path, monkeypatch):
+        out = run_table1(tmp_path, monkeypatch, "serial", ["--no-cache"])
+        assert_outputs_match(out, GOLDEN_TABLE1)
+
+    def test_workers_do_not_change_the_bytes(self, tmp_path, monkeypatch):
+        # The golden was produced serially; a 4-worker run must emit the
+        # same bytes (worker-count independence, transitively 1 == 4).
+        out = run_table1(
+            tmp_path, monkeypatch, "parallel", ["--no-cache", "--workers", "4"]
+        )
+        assert_outputs_match(out, GOLDEN_TABLE1)
+
+
+class TestResumeDeterminism:
+    def test_resume_after_quarantine_matches_clean_run(
+        self, tmp_path, monkeypatch
+    ):
+        cache = tmp_path / "cache"
+        common = ["--cache-dir", str(cache), "--workers", "2"]
+
+        # Pass 1: one injected cell exhausts its retries and is
+        # quarantined; the summary must keep the row and record the gap.
+        monkeypatch.setenv(INJECT_ENV_VAR, INJECT_ONE_CELL)
+        broken = run_table1(
+            tmp_path, monkeypatch, "broken",
+            common + ["--on-error", "quarantine", "--retries", "1"],
+        )
+        failures = read_bytes(str(broken / "table1_failures.csv"))
+        assert failures.count(b"\n") == 2  # header + one quarantined job
+        assert b"table1_cell" in failures
+        summary = read_bytes(str(broken / "table1_summary.csv")).decode()
+        m1_row = summary.splitlines()[1]
+        assert m1_row.startswith("1,2,1,")  # m=1: 2 cells, 1 quarantined
+        assert b"## Failure digest" in read_bytes(
+            str(broken / "table1_summary.md")
+        )
+
+        # Pass 2: resume without injection. The cache serves the three
+        # completed cells; only the quarantined one executes. The tables
+        # must be byte-identical to the committed clean-run goldens.
+        monkeypatch.delenv(INJECT_ENV_VAR)
+        resumed = run_table1(
+            tmp_path, monkeypatch, "resumed", common + ["--resume"]
+        )
+        assert_outputs_match(resumed, GOLDEN_TABLE1)
+
+
+class TestLogGolden:
+    def test_log_rollup_matches_golden(self, tmp_path, monkeypatch):
+        results = tmp_path / "results"
+        monkeypatch.setenv("SSTSP_RESULTS_DIR", str(results))
+        log = os.path.join(GOLDEN_LOG, "demo_sweep.jsonl")
+        assert cli.main(["log", log]) == 0
+        out = results / "analysis"
+        for produced, golden in [
+            ("demo_sweep_log_summary.csv", "golden_log_summary.csv"),
+            ("demo_sweep_log_summary.md", "golden_log_summary.md"),
+            ("demo_sweep_log_metrics.csv", "golden_log_metrics.csv"),
+        ]:
+            assert read_bytes(str(out / produced)) == read_bytes(
+                os.path.join(GOLDEN_LOG, golden)
+            ), f"{produced} diverged from {golden}"
+
+    def test_name_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("SSTSP_RESULTS_DIR", str(tmp_path / "r"))
+        log = os.path.join(GOLDEN_LOG, "demo_sweep.jsonl")
+        assert cli.main(["log", log, "--name", "renamed"]) == 0
+        assert (tmp_path / "r" / "analysis" / "renamed_log_summary.csv").exists()
+
+
+class TestHelpers:
+    def test_markdown_table_escapes_pipes(self):
+        table = cli.markdown_table(["k"], [["events.guard_reject|node=2"]])
+        assert "events.guard_reject\\|node=2" in table
+        # The escaped cell still occupies exactly one column.
+        assert table.splitlines()[2].count(" | ") == 0
+
+    def test_fmt_handles_none_and_inf(self):
+        assert cli._fmt(None) == "n/a"
+        assert cli._fmt(float("inf")) == "inf"
+        assert cli._fmt(float("-inf")) == "-inf"
+        assert cli._fmt(0.123456) == "0.1235"
+
+    def test_cli_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            cli.main([])

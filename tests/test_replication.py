@@ -31,6 +31,17 @@ class TestSummarize:
         with pytest.raises(ValueError):
             summarize([])
 
+    def test_none_and_nan_gaps_dropped(self):
+        # Quarantined sweep cells (PR 6) leave None/NaN holes in value
+        # lists; the summary covers the replicas that reported.
+        summary = summarize([10.0, None, 12.0, float("nan"), 8.0])
+        assert summary.n == 3
+        assert summary.mean == pytest.approx(10.0)
+
+    def test_all_gaps_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([None, float("nan")])
+
     def test_t_quantiles(self):
         assert t975(1) == pytest.approx(12.706)
         assert t975(10) == pytest.approx(2.228)
