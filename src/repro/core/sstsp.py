@@ -112,6 +112,7 @@ class SstspProtocol(SyncProtocol):
     """
 
     secure_beacons = True
+    protocol_name = "sstsp"
 
     def __init__(
         self,

@@ -717,6 +717,7 @@ class MultiHopRunner:
                 node=tx.sender,
                 period=tx.interval,
                 hop=tx.hop,
+                proto="sstsp",
             )
         return kept
 
@@ -774,6 +775,7 @@ class MultiHopRunner:
                     node=receiver,
                     src=tx.sender,
                     period=period,
+                    proto="sstsp",
                 )
             if receiver == self.root:
                 accepted.add(receiver)

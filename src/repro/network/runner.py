@@ -240,7 +240,13 @@ class NetworkRunner:
             hw_tx = sender.hw.read(success.start_us)
             frame = sender.protocol.make_frame(hw_tx, period)
             self._beacon_successes += 1
-            emit("beacon_tx", t_us=success.start_us, node=winner_id, period=period)
+            emit(
+                "beacon_tx",
+                t_us=success.start_us,
+                node=winner_id,
+                period=period,
+                proto=sender.protocol.protocol_name,
+            )
             pool = [nid for nid in members if nid != winner_id]
             delivered = self.channel.broadcast(
                 winner_id, pool, success.start_us, frame.size_bytes
@@ -268,6 +274,7 @@ class NetworkRunner:
                     node=rid,
                     src=winner_id,
                     period=period,
+                    proto=sender.protocol.protocol_name,
                 )
 
         for node in active:

@@ -47,6 +47,8 @@ class AtspConfig(TsfConfig):
 class AtspProtocol(TsfProtocol):
     """One station's ATSP driver."""
 
+    protocol_name = "atsp"
+
     def __init__(
         self,
         node_id: int,

@@ -89,6 +89,10 @@ class SyncProtocol(ABC):
     #: air-timed differently from plain TSF beacons).
     secure_beacons: bool = False
 
+    #: Short protocol identifier carried in trace events (``beacon_tx``
+    #: ``proto`` field), so a mixed-protocol trace attributes every frame.
+    protocol_name: str = "sync"
+
     def on_period_time(self, period: int, hw_time: float) -> None:
         """Period-start observation of this node's own hardware clock.
 

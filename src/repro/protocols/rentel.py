@@ -72,6 +72,7 @@ class RentelProtocol(SyncProtocol):
     """
 
     secure_beacons = False
+    protocol_name = "rentel"
 
     def __init__(
         self,

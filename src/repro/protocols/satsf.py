@@ -46,6 +46,8 @@ class SatsfConfig(TsfConfig):
 class SatsfProtocol(TsfProtocol):
     """One station's SATSF driver."""
 
+    protocol_name = "satsf"
+
     def __init__(
         self,
         node_id: int,

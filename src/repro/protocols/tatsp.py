@@ -48,6 +48,8 @@ class TatspConfig(TsfConfig):
 class TatspProtocol(TsfProtocol):
     """One station's TATSP driver."""
 
+    protocol_name = "tatsp"
+
     def __init__(
         self,
         node_id: int,

@@ -64,6 +64,7 @@ class TsfProtocol(SyncProtocol):
     """
 
     secure_beacons = False
+    protocol_name = "tsf"
 
     def __init__(
         self,

@@ -92,6 +92,8 @@ class TsfChannelAttacker(TsfProtocol):
     opens before the attacker transmits.
     """
 
+    protocol_name = "tsf_channel_attacker"
+
     def __init__(
         self,
         node_id: int,
@@ -165,6 +167,8 @@ class SstspInsiderAttacker(SstspProtocol):
     an honest station managed to retake the channel, the attacker lands on
     the honest timeline instead of polluting elections with a stale clock.
     """
+
+    protocol_name = "sstsp_insider"
 
     def __init__(
         self,
@@ -249,6 +253,8 @@ class ExternalForger(SstspProtocol):
     any clock - the property the tests pin down.
     """
 
+    protocol_name = "sstsp_forger"
+
     FORGED_ID_BASE = 1_000_000
 
     def __init__(
@@ -311,6 +317,8 @@ class ReplayAttacker(SstspProtocol):
     :func:`schedule_pulse_delay_jam` suppressing the original delivery
     first, this is the pulse-delay attack of [8].
     """
+
+    protocol_name = "sstsp_replay"
 
     def __init__(
         self,
