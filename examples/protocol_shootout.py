@@ -7,12 +7,23 @@ SSTSP on identical clock populations and channel conditions, then ranks
 them by steady-state accuracy and reports beacon-traffic statistics - the
 related-work comparison of the paper's section 2 as a runnable table.
 
+A second table takes the comparison multi-hop: every registered
+MultiHopProtocol (SSTSP relaying, Huan-style beaconless dissemination,
+Hu-Servetto-style cooperative averaging) on the same 4x4 grid topology -
+the standing shootout of ``python -m repro shootout``, in miniature.
+
 Run:  python examples/protocol_shootout.py [n_nodes] [duration_s]
 """
 
 import sys
 
+from repro.multihop import MultiHopSpec, Topology
+from repro.multihop.runner import run_multihop
 from repro.network.ibss import ScenarioSpec, build_network
+from repro.protocols.multihop_base import (
+    available_multihop_protocols,
+    resolve_multihop_protocol,
+)
 
 PROTOCOLS = ("tsf", "atsp", "tatsp", "satsf", "rentel", "sstsp")
 
@@ -57,6 +68,38 @@ def main() -> None:
     print("note: ATSP/TATSP/SATSF narrow TSF's gap by prioritising fast "
           "stations; SSTSP removes the contention from the steady state "
           "entirely (the paper's design argument, section 3.1)")
+
+    print("\nmulti-hop shootout: 4x4 grid, same seeds, every registered "
+          "MultiHopProtocol\n")
+    mh_rows = []
+    for name in available_multihop_protocols():
+        spec_mh = MultiHopSpec(
+            topology=Topology.grid(4, 4), seed=11,
+            duration_s=min(duration, 20.0), protocol=name,
+        )
+        result = run_multihop(spec_mh)
+        per_hop = result.per_hop_error_us
+        deepest = per_hop[max(per_hop)] if per_hop else float("nan")
+        mh_rows.append(
+            (
+                name,
+                result.trace.steady_state_error_us(),
+                deepest,
+                result.beacons_sent,
+                result.beacons_sent
+                * resolve_multihop_protocol(name).beacon_bytes,
+            )
+        )
+    mh_rows.sort(key=lambda r: r[1])
+    header = (f"{'protocol':<10} {'steady (us)':>12} {'deepest hop (us)':>17} "
+              f"{'beacons':>8} {'bytes on air':>13}")
+    print(header)
+    print("-" * len(header))
+    for name, steady, deepest, beacons, bytes_on_air in mh_rows:
+        print(f"{name:<10} {steady:>12.2f} {deepest:>17.2f} {beacons:>8} "
+              f"{bytes_on_air:>13}")
+    print("\nnote: the full scenario suite with seed replicas and CIs is "
+          "`python -m repro shootout` / `python -m repro analyze shootout`")
 
 
 if __name__ == "__main__":

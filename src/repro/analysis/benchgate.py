@@ -1,6 +1,6 @@
 """The benchmark-trajectory gate: ``BENCH_*.json`` emit + compare.
 
-``pytest benchmarks/ --benchmark-only --bench-json BENCH_7.json``
+``pytest benchmarks/ --benchmark-only --bench-json BENCH_8.json``
 (see ``benchmarks/conftest.py``) serializes every benchmark's wall-time
 statistics and numeric ``extra_info`` accuracy metrics into one
 schema-versioned JSON file; ``repro bench-gate`` compares such a file

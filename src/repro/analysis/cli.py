@@ -12,6 +12,13 @@ Subcommands
     failure/quarantine digest from the PR 6 failure records. Writes
     ``results/analysis/<name>_summary.csv`` / ``.md`` and
     ``<name>_failures.csv``.
+``shootout``
+    Re-resolve the multi-hop shootout grid (protocol x scenario x
+    replica; see :mod:`repro.experiments.shootout`) and roll each
+    (protocol, scenario) group's replicas into accuracy / convergence /
+    beacon-traffic / bytes-on-air means with the same CI machinery.
+    Writes ``results/analysis/<name>_summary.csv`` / ``.md`` and
+    ``<name>_failures.csv``.
 ``log``
     Roll one sweep run log (the JSONL written under
     ``results/sweep_logs/``) into per-kind job/wall-time tables, a
@@ -268,6 +275,196 @@ def _cmd_table1(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+# analyze shootout
+# ----------------------------------------------------------------------
+
+
+#: (protocol, scenario, cells, quarantined, unconverged, metric stats...)
+ShootoutRow = Tuple[
+    str, str, int, int, int,
+    Optional[SummaryStats], Optional[SummaryStats],
+    Optional[SummaryStats], Optional[SummaryStats],
+]
+
+
+def shootout_summaries(
+    payloads: Sequence[Optional[Dict[str, Any]]],
+    keys: Optional[Sequence[Tuple[str, str]]] = None,
+) -> List[ShootoutRow]:
+    """Per-(protocol, scenario) roll-up of raw shootout cells.
+
+    ``keys`` is the parallel (protocol, scenario) sequence from the spec
+    grid; with it, quarantined cells (``None`` payloads) count against
+    their own group. Groups stay in first-seen (spec) order —
+    protocol-major, then scenario — so the summary bytes don't depend on
+    dict iteration accidents. Quarantined and never-converged replicas
+    are counted, not raised on (the PR 6 missing-cells contract:
+    fully-quarantined groups keep their row with ``None`` stats).
+    """
+    order: List[Tuple[str, str]] = []
+    groups: Dict[Tuple[str, str], Dict[str, List[Any]]] = {}
+
+    def group_for(key: Tuple[str, str]) -> Dict[str, List[Any]]:
+        if key not in groups:
+            order.append(key)
+            groups[key] = {
+                "steady": [], "convergence": [], "beacons": [], "bytes": [],
+                "quarantined": [],
+            }
+        return groups[key]
+
+    for i, payload in enumerate(payloads):
+        if payload is None:
+            if keys is not None and i < len(keys):
+                group_for(keys[i])["quarantined"].append(1)
+            continue
+        group = group_for((str(payload["protocol"]), str(payload["scenario"])))
+        group["steady"].append(payload["steady_state_error_us"])
+        group["convergence"].append(payload["convergence_time_s"])
+        group["beacons"].append(payload["beacons_sent"])
+        group["bytes"].append(payload["bytes_on_air"])
+    rows: List[ShootoutRow] = []
+    for key in order:
+        group = groups[key]
+        quarantined = len(group["quarantined"])
+        cells = len(group["steady"]) + quarantined
+        convergences = [c for c in group["convergence"] if c is not None]
+        unconverged = len(group["steady"]) - len(convergences)
+
+        def stats(values: List[Any]) -> Optional[SummaryStats]:
+            cleaned = [float(v) for v in values if v is not None]
+            return summarize_values(cleaned) if cleaned else None
+
+        rows.append(
+            (
+                key[0], key[1], cells, quarantined, unconverged,
+                stats(group["steady"]),
+                stats(convergences),
+                stats(group["beacons"]),
+                stats(group["bytes"]),
+            )
+        )
+    return rows
+
+
+def shootout_summary_csv_text(rows: Sequence[ShootoutRow]) -> str:
+    """The shootout-with-CIs summary as CSV (repr floats)."""
+    header = "protocol,scenario,cells,quarantined,unconverged"
+    for metric, unit in (
+        ("steady", "us"), ("convergence", "s"),
+        ("beacons", ""), ("bytes", ""),
+    ):
+        suffix = f"_{unit}" if unit else ""
+        header += (
+            f",{metric}_n,{metric}_mean{suffix},{metric}_median{suffix},"
+            f"{metric}_std{suffix},{metric}_t_lo{suffix},"
+            f"{metric}_t_hi{suffix},{metric}_boot_lo{suffix},"
+            f"{metric}_boot_hi{suffix}"
+        )
+    lines = [header]
+    for protocol, scenario, cells, quarantined, unconverged, steady, conv, beacons, nbytes in rows:
+        fields = [protocol, scenario, str(cells), str(quarantined), str(unconverged)]
+        fields += _stat_csv_fields(steady)
+        fields += _stat_csv_fields(conv)
+        fields += _stat_csv_fields(beacons)
+        fields += _stat_csv_fields(nbytes)
+        lines.append(",".join(fields))
+    return "\n".join(lines) + "\n"
+
+
+def shootout_summary_md_text(
+    rows: Sequence[ShootoutRow],
+    replicas: int,
+    failures: Sequence[JobFailure],
+) -> str:
+    """The shootout roll-up as markdown, plus the failure digest."""
+    headers = [
+        "protocol", "scenario", "steady err (us)", "steady 95% CI (us)",
+        "converge (s)", "converge 95% CI (s)", "beacons", "bytes on air",
+        "n", "missing",
+    ]
+    body: List[List[str]] = []
+    for protocol, scenario, cells, quarantined, unconverged, steady, conv, beacons, nbytes in rows:
+        body.append([
+            protocol,
+            scenario,
+            _fmt(steady.mean) if steady else "n/a",
+            _ci_cell(steady) if steady else "n/a",
+            _fmt(conv.mean) if conv else "n/a",
+            _ci_cell(conv) if conv else "n/a",
+            _fmt(beacons.mean) if beacons else "n/a",
+            _fmt(nbytes.mean) if nbytes else "n/a",
+            str(cells),
+            str(quarantined + unconverged),
+        ])
+    parts = [
+        "# Multi-hop shootout with confidence intervals",
+        "",
+        f"Replicas per (protocol, scenario): {replicas}. Intervals are "
+        "two-sided 95% (Student-t; the CSV adds the seeded-bootstrap "
+        "interval). `missing` counts quarantined cells plus replicas "
+        "whose network-wide error never settled under the convergence "
+        "threshold.",
+        "",
+        markdown_table(headers, body),
+        "",
+        "## Failure digest",
+        "",
+    ]
+    if failures:
+        parts.append(markdown_table(
+            ["seq", "kind", "hash", "reason", "attempts"],
+            [
+                [str(f.seq), f.kind, f.hash, f.reason, str(f.attempts)]
+                for f in sorted(failures, key=lambda f: f.seq)
+            ],
+        ))
+    else:
+        parts.append("No quarantined jobs.")
+    return "\n".join(parts) + "\n"
+
+
+def _cmd_shootout(args: argparse.Namespace) -> int:
+    from repro.experiments.shootout import shootout_specs
+
+    protocols = (
+        [p.strip() for p in args.protocols.split(",") if p.strip()]
+        if args.protocols
+        else None
+    )
+    specs = shootout_specs(
+        protocols=protocols,
+        seed=args.seed,
+        quick=args.quick,
+        replicas=args.replicas,
+    )
+    result = run_sweep(f"{args.name}_analyze", specs, sweep_options_from_args(args))
+    keys = [
+        (str(s.params_dict()["protocol"]), str(s.params_dict().get("name", "")))
+        for s in specs
+    ]
+    rows = shootout_summaries(result.values, keys)
+    out_dir = ensure_analysis_dir()
+    csv_text = shootout_summary_csv_text(rows)
+    md_text = shootout_summary_md_text(rows, args.replicas, result.failures)
+    csv_path = _write_text(
+        os.path.join(out_dir, f"{args.name}_summary.csv"), csv_text
+    )
+    md_path = _write_text(
+        os.path.join(out_dir, f"{args.name}_summary.md"), md_text
+    )
+    failures_path = _write_text(
+        os.path.join(out_dir, f"{args.name}_failures.csv"),
+        failures_csv_text(result.failures),
+    )
+    print(md_text)
+    print(f"summary CSV:  {csv_path}")
+    print(f"summary MD:   {md_path}")
+    print(f"failures CSV: {failures_path}")
+    return 0
+
+
+# ----------------------------------------------------------------------
 # analyze log
 # ----------------------------------------------------------------------
 
@@ -486,6 +683,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_sweep_arguments(p_table1)
     p_table1.set_defaults(func=_cmd_table1)
+
+    p_shootout = sub.add_parser(
+        "shootout",
+        help="per-(protocol, scenario) CIs over the multi-hop shootout grid",
+    )
+    p_shootout.add_argument("--seed", type=int, default=1)
+    p_shootout.add_argument(
+        "--quick", action="store_true",
+        help="trim scenario durations to ~8 simulated seconds",
+    )
+    p_shootout.add_argument(
+        "--replicas", type=int, default=3,
+        help="seed replicas per cell (default 3; more replicas, tighter CIs)",
+    )
+    p_shootout.add_argument(
+        "--protocols", default=None,
+        help="comma-separated protocol subset (default: every registered one)",
+    )
+    p_shootout.add_argument(
+        "--name", default="shootout",
+        help="output stem under results/analysis/ (default shootout)",
+    )
+    add_sweep_arguments(p_shootout)
+    p_shootout.set_defaults(func=_cmd_shootout)
 
     p_log = sub.add_parser(
         "log", help="roll one sweep run log (JSONL) into summary tables"

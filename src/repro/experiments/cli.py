@@ -34,6 +34,7 @@ from repro.experiments import (
     multihop,
     overhead,
     related,
+    shootout,
     table1,
 )
 
@@ -44,6 +45,7 @@ EXPERIMENTS: Dict[str, Callable[[List[str]], None]] = {
     "fig4": fig4.main,
     "table1": table1.main,
     "multihop": multihop.main,
+    "shootout": shootout.main,
     "overhead": overhead.main,
     "lemmas": lemmas.main,
     "related": related.main,

@@ -61,6 +61,7 @@ DEFAULT_SCENARIOS: Sequence[Dict[str, Any]] = (
 #: Spec fields forwarded verbatim from job params to MultiHopSpec.
 _SPEC_PASSTHROUGH = (
     "seed",
+    "protocol",
     "duration_s",
     "beacon_period_us",
     "drift_ppm",

@@ -1,0 +1,278 @@
+"""Standing multi-hop protocol shootout through the sweep orchestrator.
+
+Runs every registered :class:`~repro.protocols.multihop_base.MultiHopProtocol`
+(the paper's SSTSP relaying plus the related-work competitors: Huan-style
+beaconless one-way dissemination and Hu–Servetto-style cooperative spatial
+averaging) across the shared multi-hop scenario suite
+(:data:`repro.experiments.multihop.DEFAULT_SCENARIOS`), optionally over
+several seed replicas.
+
+Each (protocol, scenario, replica) cell is one content-addressed
+:class:`~repro.sweep.spec.JobSpec`, so the shootout inherits the
+orchestrator's contract: ``--workers N`` fans cells across processes,
+``--cache-dir`` makes reruns cache hits, and the ``results/shootout.csv``
+bytes are identical at any worker count. ``repro analyze shootout`` rolls
+the replicas up into per-(protocol, scenario) confidence intervals.
+
+Columns beyond the accuracy metrics quantify what each scheme pays for
+its accuracy: beacon count, bytes on air (count x the protocol's own
+frame size), slot-quantised airtime, and a deterministic convergence
+time (earliest sample from which the network-wide error stays under
+``CONVERGENCE_THRESHOLD_US`` for the rest of the run).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.experiments.multihop import DEFAULT_SCENARIOS
+from repro.experiments.report import ensure_results_dir, format_table
+from repro.sweep import (
+    JobSpec,
+    SweepOptions,
+    add_sweep_arguments,
+    run_sweep,
+    sweep_options_from_args,
+)
+
+#: A run "converged" at the earliest sample from which every later
+#: network-wide max-difference sample stays below this bound. 50 us sits
+#: an order of magnitude above the paper's 2*epsilon single-hop bound but
+#: well below the initial-offset transient, so it separates "locked on"
+#: from "still hunting" for every scheme in the suite.
+CONVERGENCE_THRESHOLD_US: float = 50.0
+
+#: Per-replica seed spacing (scenario seeds stay well clear of each other).
+_REPLICA_SEED_STRIDE = 101
+
+_CSV_COLUMNS = (
+    "protocol,scenario,replica,seed,nodes,max_hop,final_present,"
+    "root_changes,beacons_sent,collisions,beacon_bytes,bytes_on_air,"
+    "airtime_on_air_us,convergence_time_s,steady_state_error_us,"
+    "peak_error_us,hop1_error_us,deepest_hop_error_us"
+)
+
+
+def convergence_time_s(
+    times_us: np.ndarray,
+    max_diff_us: np.ndarray,
+    threshold_us: float = CONVERGENCE_THRESHOLD_US,
+) -> Optional[float]:
+    """Earliest sample time (seconds) from which every subsequent sample
+    is finite and below ``threshold_us``; ``None`` if the trace never
+    settles (including an empty trace)."""
+    n = len(max_diff_us)
+    if n == 0:
+        return None
+    ok = np.isfinite(max_diff_us) & (max_diff_us <= threshold_us)
+    if not bool(ok[-1]):
+        return None
+    # last index where the condition fails, +1 = start of the stable tail
+    bad = np.nonzero(~ok)[0]
+    start = int(bad[-1]) + 1 if len(bad) else 0
+    return float(times_us[start]) / 1e6
+
+
+def job_shootout_run(job: JobSpec) -> Dict[str, Any]:
+    """Execute one (protocol, scenario, replica) cell.
+
+    Mirrors :func:`repro.experiments.multihop.job_multihop_run` (the
+    ``protocol`` param rides through ``_SPEC_PASSTHROUGH`` into
+    ``MultiHopSpec``) but keeps the result object in hand so the overhead
+    and convergence columns come from the same run — nothing re-executes.
+    """
+    from repro.multihop.runner import MultiHopSpec, run_multihop
+    from repro.protocols.multihop_base import resolve_multihop_protocol
+
+    from repro.experiments.multihop import _SPEC_PASSTHROUGH, _build_topology
+
+    params = job.params_dict()
+    topology = _build_topology(params, job)
+    overrides = {
+        key: params[key] for key in _SPEC_PASSTHROUGH if key in params
+    }
+    spec = MultiHopSpec(topology=topology, **overrides)
+    result = run_multihop(spec)
+    trace = result.trace
+    protocol_cls = resolve_multihop_protocol(spec.protocol)
+    per_hop = dict(result.per_hop_error_us)
+    hop1 = per_hop.get(1)
+    deepest = per_hop[max(per_hop)] if per_hop else None
+    beacon_bytes = protocol_cls.beacon_bytes
+    airtime_us = spec.airtime_slots * spec.slot_time_us
+    return {
+        "protocol": spec.protocol,
+        "scenario": params.get("name", job.kind),
+        "replica": int(params.get("replica", 0)),
+        "seed": spec.seed,
+        "nodes": topology.n,
+        "max_hop": result.max_hop(),
+        "final_present": int(trace.present_counts[-1]) if len(trace) else 0,
+        "root_changes": result.root_changes,
+        "beacons_sent": result.beacons_sent,
+        "collisions": result.collisions_at_receivers,
+        "beacon_bytes": beacon_bytes,
+        "bytes_on_air": result.beacons_sent * beacon_bytes,
+        "airtime_on_air_us": result.beacons_sent * airtime_us,
+        "convergence_time_s": convergence_time_s(
+            trace.times_us, trace.max_diff_us
+        ),
+        "steady_state_error_us": trace.steady_state_error_us(),
+        "peak_error_us": trace.peak_error_us(),
+        "hop1_error_us": hop1,
+        "deepest_hop_error_us": deepest,
+    }
+
+
+def shootout_specs(
+    scenarios: Sequence[Mapping[str, Any]] = DEFAULT_SCENARIOS,
+    protocols: Optional[Sequence[str]] = None,
+    seed: int = 1,
+    quick: bool = False,
+    replicas: int = 1,
+) -> List[JobSpec]:
+    """Freeze the protocol x scenario x replica grid into sweep specs.
+
+    Row order (protocol-major, then scenario, then replica) is the CSV
+    row order — the orchestrator returns values in spec order regardless
+    of worker count, which is what keeps the bytes stable.
+    """
+    from repro.protocols.multihop_base import available_multihop_protocols
+
+    if protocols is None:
+        protocols = available_multihop_protocols()
+    if replicas < 1:
+        raise ValueError(f"replicas must be >= 1, got {replicas}")
+    specs = []
+    for protocol in protocols:
+        for scenario in scenarios:
+            for replica in range(replicas):
+                params = dict(scenario)
+                params["protocol"] = protocol
+                params["replica"] = replica
+                params["seed"] = (
+                    int(params.get("seed", 1)) + replica * _REPLICA_SEED_STRIDE
+                )
+                if quick:
+                    params["duration_s"] = min(
+                        float(params.get("duration_s", 30.0)), 8.0
+                    )
+                specs.append(JobSpec.make("shootout_run", params, root_seed=seed))
+    return specs
+
+
+def run(
+    scenarios: Sequence[Mapping[str, Any]] = DEFAULT_SCENARIOS,
+    protocols: Optional[Sequence[str]] = None,
+    seed: int = 1,
+    quick: bool = False,
+    replicas: int = 1,
+    sweep: Optional[SweepOptions] = None,
+) -> List[Dict[str, Any]]:
+    """Run the shootout grid; returns payloads in spec order."""
+    specs = shootout_specs(
+        scenarios, protocols=protocols, seed=seed, quick=quick, replicas=replicas
+    )
+    return run_sweep("shootout", specs, sweep).values
+
+
+def save_rows_csv(rows: Sequence[Dict[str, Any]], name: str = "shootout") -> str:
+    """Write the shootout payloads as CSV; ``repr`` floats keep the bytes
+    a pure function of the values (the parallel-determinism contract)."""
+    path = os.path.join(ensure_results_dir(), f"{name}.csv")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(rows_to_csv(rows))
+    return path
+
+
+def rows_to_csv(rows: Sequence[Dict[str, Any]]) -> str:
+    """Render payload rows to the canonical CSV text."""
+    lines = [_CSV_COLUMNS]
+    for row in rows:
+        cells = []
+        for column in _CSV_COLUMNS.split(","):
+            value = row[column]
+            if value is None:
+                cells.append("")
+            elif isinstance(value, float):
+                cells.append(repr(value))
+            else:
+                cells.append(str(value))
+        lines.append(",".join(cells))
+    return "\n".join(lines) + "\n"
+
+
+def main(argv=None) -> None:
+    """CLI entry point: ``python -m repro shootout``."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="trim scenario durations to ~8 simulated seconds",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="sweep root seed")
+    parser.add_argument(
+        "--replicas", type=int, default=1,
+        help="seed replicas per (protocol, scenario) cell",
+    )
+    parser.add_argument(
+        "--protocols", default=None,
+        help="comma-separated protocol subset (default: every registered one)",
+    )
+    add_sweep_arguments(parser)
+    args = parser.parse_args(argv)
+
+    protocols = (
+        [p.strip() for p in args.protocols.split(",") if p.strip()]
+        if args.protocols
+        else None
+    )
+    rows = run(
+        protocols=protocols,
+        seed=args.seed,
+        quick=args.quick,
+        replicas=args.replicas,
+        sweep=sweep_options_from_args(args),
+    )
+    csv_path = save_rows_csv(rows)
+    print("=== Multi-hop protocol shootout ===")
+    print()
+    table_rows = []
+    for row in rows:
+        conv = row["convergence_time_s"]
+        deepest = row["deepest_hop_error_us"]
+        table_rows.append(
+            (
+                row["protocol"],
+                row["scenario"],
+                row["replica"],
+                row["max_hop"],
+                f"{row['steady_state_error_us']:.2f} us",
+                f"{deepest:.2f} us" if deepest is not None else "-",
+                f"{conv:.2f} s" if conv is not None else "never",
+                row["beacons_sent"],
+                row["bytes_on_air"],
+                row["root_changes"],
+            )
+        )
+    print(
+        format_table(
+            ["protocol", "scenario", "rep", "max hop", "steady err",
+             "deepest err", "converged", "beacons", "bytes", "root chg"],
+            table_rows,
+        )
+    )
+    print()
+    print(f"rows written to {csv_path}")
+    print(
+        "shape checks: sstsp pays the largest beacons for authenticated "
+        "accuracy; beaconless halves traffic via its duty cycle; coop "
+        "floods every period and buys accuracy with density"
+    )
+
+
+if __name__ == "__main__":
+    main()

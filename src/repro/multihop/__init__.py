@@ -22,6 +22,12 @@ relayers): uTESLA authenticates *who relayed*, not that the relayed value
 is honest; a compromised relayer can therefore shift its whole subtree -
 but only within the guard time per beacon, exactly the paper's insider
 bound, now per subtree.
+
+The runner itself is protocol-agnostic: the SSTSP relay scheme above is
+one :class:`~repro.protocols.multihop_base.MultiHopProtocol`
+implementation (``MultiHopSpec(protocol="sstsp")``, the default), and
+the related-work competitors (``"beaconless"``, ``"coop"``) run on the
+same harness — compared head-to-head by ``repro shootout``.
 """
 
 from repro.multihop.topology import Topology

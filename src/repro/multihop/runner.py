@@ -1,26 +1,9 @@
-"""The multi-hop SSTSP simulation, as a client of the shared kernel.
+"""The multi-hop harness, as a client of the shared kernel.
 
-One designated *root* (the paper's "first node arriving in the network"
-that publishes ``T_0``) beacons at every BP exactly like the single-hop
-reference node. Every synchronized node at hop ``h`` relays inside the
-``h``-th segment of the beacon window (with a small random backoff inside
-the segment, so same-hop relayers decorrelate), letting the time wave
-cross the whole diameter within one BP. Reception is *spatial*: a station
-hears exactly its graph neighbours, overlapping transmissions from two
-audible neighbours collide at that receiver only.
-
-Receivers run the unchanged SSTSP pipeline against their best upstream
-(lowest hop, then earliest): per-relayer uTESLA material (modeled backend
-semantics), the guard time, and the (k, b) slewing of equations (2)-(5) -
-with one generalisation: the convergence target extrapolates the
-*upstream's* timestamp grid (``ts1 + (j + m - j1) * BP``) instead of the
-global ``T^{j+m}`` grid, because a relay's emission instant includes its
-hop segment and backoff. For the root's direct children the two coincide.
-
-If the root leaves, its orphaned hop-1 children run the single-hop
-election among themselves; the winner becomes the new root.
-
-This lane shares the simulation kernel with the single-hop engines:
+This module is protocol-agnostic: it drives any registered
+:class:`~repro.protocols.multihop_base.MultiHopProtocol` (selected by
+``MultiHopSpec.protocol``) over a spatial radio topology, owning only
+kernel concerns:
 
 * **clocks** — every station is a :class:`~repro.network.node.Node`
   holding a :class:`~repro.clocks.oscillator.HardwareClock` plus the
@@ -33,7 +16,8 @@ This lane shares the simulation kernel with the single-hop engines:
   :class:`~repro.phy.channel.SpatialBroadcastChannel`, gaining the
   shared loss models (per-receiver / per-transmission /
   Gilbert-Elliott), jam windows, loss-burst overrides and per-link
-  error overrides;
+  error overrides. Beacon size and airtime come from the *protocol's*
+  frame declaration, not from any hardcoded constant;
 * **churn** — ``leave_at`` / ``return_at`` and an optional
   :class:`~repro.network.churn.ChurnSchedule` (reference markers
   included) apply through the shared
@@ -44,12 +28,23 @@ This lane shares the simulation kernel with the single-hop engines:
 * **metrics** — samples are recorded with the shared
   :class:`~repro.analysis.metrics.TraceRecorder`.
 
+Everything synchronization-specific — who transmits when, what a frame
+carries, how receivers filter and apply it, who takes over as root —
+lives in the protocol implementation
+(:mod:`repro.protocols.multihop_sstsp` is the paper's scheme, moved
+verbatim out of this file; ``multihop_beaconless`` and ``multihop_coop``
+are the related-work competitors).
+
+If the root leaves, the harness runs the orphan election through the
+protocol's takeover hooks; the winner becomes the new root.
+
 A *complete* topology is the degenerate case where the spatial model
-adds nothing over the single-hop IBSS; :meth:`MultiHopRunner.run` then
-delegates to the reference :class:`~repro.network.runner.NetworkRunner`
-built from :func:`degenerate_scenario`, so complete-graph multi-hop
-specs reproduce the single-hop lane's election and adjustment decisions
-exactly (see ``tests/test_differential_parity.py``).
+adds nothing over the single-hop IBSS; when the protocol declares a
+single-hop counterpart (:meth:`MultiHopProtocol.degenerate_runner`),
+:meth:`MultiHopRunner.run` delegates to that reference
+:class:`~repro.network.runner.NetworkRunner`, so complete-graph
+multi-hop specs reproduce the single-hop lane's election and adjustment
+decisions exactly (see ``tests/test_differential_parity.py``).
 """
 
 from __future__ import annotations
@@ -61,24 +56,25 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 import numpy as np
 
 from repro.analysis.metrics import SyncTrace, TraceRecorder
-from repro.clocks.adjusted import AdjustedClock, MonotonicityError
+from repro.clocks.adjusted import AdjustedClock
 from repro.clocks.chain import ClockChain
 from repro.clocks.population import ClockPopulation
-from repro.core.adjustment import (
-    AdjustmentSample,
-    DegenerateSamplesError,
-    solve_adjustment,
-)
 from repro.core.config import SstspConfig
 from repro.mac.contention import resolve_neighborhood
 from repro.multihop.topology import Topology
 from repro.network.churn import ChurnApplier, ChurnEvent, ChurnSchedule
-from repro.network.ibss import ScenarioSpec, build_sstsp_network
+from repro.network.ibss import ScenarioSpec
 from repro.network.node import Node
-from repro.network.runner import RunnerParams
+from repro.network.runner import NetworkRunner, RunnerParams
 from repro.obs.events import emit
 from repro.phy.channel import SpatialBroadcastChannel
-from repro.phy.params import SSTSP_BEACON_BYTES, PhyParams
+from repro.phy.params import PhyParams
+from repro.protocols.multihop_base import (
+    MultiHopContext,
+    MultiHopFrame,
+    MultiHopProtocol,
+    resolve_multihop_protocol,
+)
 from repro.sim.rng import RngRegistry
 from repro.sim.units import S
 
@@ -99,13 +95,18 @@ class MultiHopSpec:
     drift_ppm: float = 100.0
     initial_offset_us: float = 0.0
     root: int = 0
+    #: Which registered multi-hop protocol drives the stations (see
+    #: :data:`repro.protocols.multihop_base.MULTIHOP_PROTOCOLS`).
+    protocol: str = "sstsp"
     #: Beacon-window slots reserved per hop level. Must exceed the beacon
-    #: airtime (7 slots) or adjacent hop segments overlap on the air and
-    #: collide at every station hearing both hops.
+    #: airtime or adjacent hop segments overlap on the air and collide at
+    #: every station hearing both hops.
     hop_stride_slots: int = 16
     slot_time_us: float = 9.0
-    #: Airtime of one secure beacon (7 slots, as in single-hop SSTSP).
-    beacon_airtime_slots: int = 7
+    #: Airtime of one beacon in slots. ``None`` (the default) resolves to
+    #: the protocol's own frame declaration (7 slots for secure SSTSP
+    #: beacons, smaller for the lighter competitor schemes).
+    beacon_airtime_slots: Optional[int] = None
     propagation_delay_us: float = 1.0
     timestamp_jitter_us: float = 2.0
     packet_error_rate: float = 1e-4
@@ -139,7 +140,13 @@ class MultiHopSpec:
             raise ValueError("relay_probability must be in (0, 1]")
         if self.hop_stride_slots < 1:
             raise ValueError("hop_stride_slots must be >= 1")
-        if self.hop_stride_slots <= self.beacon_airtime_slots:
+        # Resolving also validates the protocol name.
+        protocol_cls = resolve_multihop_protocol(self.protocol)
+        if self.beacon_airtime_slots is None:
+            object.__setattr__(
+                self, "beacon_airtime_slots", protocol_cls.beacon_airtime_slots
+            )
+        if self.hop_stride_slots <= self.airtime_slots:
             raise ValueError(
                 "hop_stride_slots must exceed beacon_airtime_slots: adjacent "
                 "hop segments would overlap on the air"
@@ -148,74 +155,22 @@ class MultiHopSpec:
             raise ValueError(f"unknown loss model {self.loss_model!r}")
 
     @property
+    def airtime_slots(self) -> int:
+        """``beacon_airtime_slots`` after protocol-default resolution
+        (``__post_init__`` guarantees it is set)."""
+        value = self.beacon_airtime_slots
+        assert value is not None
+        return value
+
+    @property
     def periods(self) -> int:
         return int(round(self.duration_s * S / self.beacon_period_us))
 
 
-class _RelayProtocol:
-    """Per-station multi-hop relay state (the SstspProtocol analogue).
-
-    Exposes the protocol surface the shared kernel plumbing drives:
-    ``is_synchronized`` / ``is_reference`` / ``clock`` for metrics and
-    chaos invariants, ``on_leave`` / ``on_return`` for churn and fault
-    restarts, ``synchronized_time`` for sampling. The heavy lifting
-    (relay scheduling, guard, adjustment) lives in the runner, which
-    mutates this state directly.
-    """
-
-    __slots__ = (
-        "node_id",
-        "chain",
-        "hop",
-        "upstream",
-        "silent",
-        "adjustments",
-        "samples",
-        "pending",
-    )
-
-    def __init__(self, node_id: int, chain: ClockChain) -> None:
-        self.node_id = node_id
-        self.chain = chain
-        self.hop: Optional[int] = None  # None = not yet synchronized; 0 = root
-        self.upstream: Optional[int] = None
-        self.silent = 0
-        self.adjustments = 0
-        self.samples: List[AdjustmentSample] = []
-        self.pending: Optional[Tuple[int, float, float]] = None
-
-    @property
-    def clock(self) -> AdjustedClock:
-        """The station's adjusted clock (chaos monotonicity audits read it)."""
-        return self.chain.adjusted
-
-    def reset_sync(self) -> None:
-        self.hop = None
-        self.upstream = None
-        self.samples.clear()
-        self.pending = None
-        self.silent = 0
-
-    def synchronized_time(self, hw_time: float) -> float:
-        return self.chain.adjusted.read_current(hw_time)
-
-    def is_synchronized(self) -> bool:
-        return self.hop is not None
-
-    def is_reference(self) -> bool:
-        return self.hop == 0
-
-    def on_leave(self, period: int) -> None:
-        """Graceful departure keeps state (the station may return in sync)."""
-
-    def on_return(self, period: int) -> None:
-        """A returning/restarted station re-acquires from scratch."""
-        self.reset_sync()
-
-
 class RelayNode(Node):
-    """A multi-hop station: a kernel :class:`Node` whose protocol is the
-    relay state, with the relay fields surfaced for tests/diagnostics."""
+    """A multi-hop station: a kernel :class:`Node` whose protocol is a
+    :class:`MultiHopProtocol`, with the relay fields surfaced for
+    tests/diagnostics."""
 
     __slots__ = ()
 
@@ -230,29 +185,6 @@ class RelayNode(Node):
     @property
     def clock(self) -> AdjustedClock:
         return self.protocol.clock
-
-
-@dataclass
-class _Transmission:
-    """One on-air relay beacon.
-
-    ``timestamp`` is the sender's *normalized* time reference: its
-    adjusted-clock estimate of the period start ``T^j`` (its actual
-    emission instant is ``T^j + delay_us`` on its own clock, where
-    ``delay_us`` - hop segment plus backoff - is deterministic schedule
-    information carried in the beacon). Receivers subtract ``delay_us``
-    from the reception time too, so sample pairs sit on a clean BP grid
-    and per-period backoff never pollutes rate estimation - without this
-    normalisation the backoff jitter (~3 slots) compounds per hop and
-    blows up the deep-hop error.
-    """
-
-    sender: int
-    hop: int
-    interval: int
-    tx_true: float
-    timestamp: float
-    delay_us: float
 
 
 @dataclass
@@ -273,53 +205,23 @@ class MultiHopResult:
 
 
 def degenerate_scenario(spec: MultiHopSpec) -> Tuple[ScenarioSpec, SstspConfig]:
-    """Translate a complete-graph multi-hop spec to the single-hop lane.
+    """Translate a complete-graph multi-hop spec to the single-hop SSTSP
+    lane (kept as a module function for the differential-parity tests;
+    the translation itself lives on the protocol —
+    :meth:`~repro.protocols.multihop_sstsp.SstspRelayProtocol.single_hop_lane`)."""
+    from repro.protocols.multihop_sstsp import SstspRelayProtocol
 
-    On a complete graph every station hears every other, hop distances
-    are all 1 and the relay machinery degenerates to the IBSS election;
-    the returned ``(scenario, config)`` pair builds the reference
-    :class:`~repro.network.runner.NetworkRunner` with the same clocks,
-    channel parameters and protocol constants (the per-hop guard
-    collapses to ``guard_fine + guard_per_hop`` - one hop).
-    """
-    phy = PhyParams(
-        slot_time_us=spec.slot_time_us,
-        beacon_airtime_slots=spec.beacon_airtime_slots,
-        propagation_delay_us=spec.propagation_delay_us,
-        timestamp_jitter_us=spec.timestamp_jitter_us,
-        packet_error_rate=spec.packet_error_rate,
-        loss_model=spec.loss_model,
-    )
-    scenario = ScenarioSpec(
-        n=spec.topology.n,
-        seed=spec.seed,
-        duration_s=spec.duration_s,
-        beacon_period_us=spec.beacon_period_us,
-        drift_ppm=spec.drift_ppm,
-        initial_offset_us=spec.initial_offset_us,
-        phy=phy,
-    )
-    config = SstspConfig(
-        beacon_period_us=spec.beacon_period_us,
-        slot_time_us=spec.slot_time_us,
-        l=spec.l,
-        m=spec.m,
-        guard_fine_us=spec.guard_fine_us + spec.guard_per_hop_us,
-        k_clamp=spec.k_clamp,
-        rx_latency_us=(
-            spec.beacon_airtime_slots * spec.slot_time_us
-            + spec.propagation_delay_us
-        ),
-    )
-    return scenario, config
+    return SstspRelayProtocol.single_hop_lane(spec)
 
 
 class MultiHopRunner:
-    """Drives one multi-hop SSTSP network on the shared kernel."""
+    """Drives one multi-hop network on the shared kernel."""
 
     def __init__(self, spec: MultiHopSpec) -> None:
         self.spec = spec
         self.n = spec.topology.n
+        self._protocol_cls = resolve_multihop_protocol(spec.protocol)
+        self.protocol_name = self._protocol_cls.protocol_name
         self.rngs = RngRegistry(spec.seed)
         population = ClockPopulation.sample(
             self.n,
@@ -330,7 +232,7 @@ class MultiHopRunner:
         self._slot_rng = self.rngs.get("slots")
         self.phy = PhyParams(
             slot_time_us=spec.slot_time_us,
-            beacon_airtime_slots=spec.beacon_airtime_slots,
+            beacon_airtime_slots=spec.airtime_slots,
             propagation_delay_us=spec.propagation_delay_us,
             timestamp_jitter_us=spec.timestamp_jitter_us,
             packet_error_rate=spec.packet_error_rate,
@@ -342,15 +244,29 @@ class MultiHopRunner:
         self.params = RunnerParams(
             beacon_period_us=spec.beacon_period_us,
             periods=spec.periods,
-            beacon_airtime_slots=spec.beacon_airtime_slots,
+            beacon_airtime_slots=spec.airtime_slots,
         )
+        chains = [
+            ClockChain(population.clock(i)) for i in range(self.n)
+        ]
+        stations = self._protocol_cls.build(spec, chains)
         self.nodes: List[Node] = []
         for i in range(self.n):
-            hw = population.clock(i)
-            node = RelayNode(i, hw)
-            node.protocol = _RelayProtocol(i, ClockChain(hw))
+            node = RelayNode(i, chains[i].hw)
+            node.protocol = stations[i]
             self.nodes.append(node)
         self._by_id: Dict[int, Node] = {node.node_id: node for node in self.nodes}
+        self.ctx = MultiHopContext(
+            spec,
+            self._slot_rng,
+            rx_latency_us=(
+                spec.airtime_slots * spec.slot_time_us
+                + spec.propagation_delay_us
+            ),
+            sample_timestamp_error=self.channel.sample_timestamp_error,
+            state_of=self._state,
+            is_present=lambda node_id: self._by_id[node_id].present,
+        )
         self.root = spec.root
         self._state(self.root).hop = 0
         self._last_valid_root = spec.root
@@ -359,7 +275,6 @@ class MultiHopRunner:
         self.collisions = 0
         self.recorder = TraceRecorder()
         self._per_hop_errors: Dict[int, List[float]] = {}
-        self._relay_phase: Dict[Tuple[int, Optional[int], int], int] = {}
         #: scheduled departures: period -> list of nodes (tests/examples use
         #: this to exercise root failover)
         self.leave_at: Dict[int, List[int]] = {}
@@ -384,18 +299,8 @@ class MultiHopRunner:
             return self.root
         return -1
 
-    def _state(self, node_id: int) -> _RelayProtocol:
+    def _state(self, node_id: int) -> MultiHopProtocol:
         return self._by_id[node_id].protocol
-
-    # ------------------------------------------------------------------
-    # Clock plumbing (through the shared ClockChain)
-    # ------------------------------------------------------------------
-
-    def _hw_at(self, node_id: int, true_time: float) -> float:
-        return self._by_id[node_id].hw.read(true_time)
-
-    def _true_at_adjusted(self, node_id: int, adjusted_value: float) -> float:
-        return self._state(node_id).chain.true_at_adjusted(adjusted_value)
 
     def _adjusted_at(self, node_id: int, true_time: float) -> float:
         return self._state(node_id).chain.adjusted_at(true_time)
@@ -408,7 +313,9 @@ class MultiHopRunner:
         """Simulate all periods; returns the result bundle."""
         spec = self.spec
         if self.n >= 2 and spec.topology.is_complete():
-            return self._run_degenerate()
+            inner = self._protocol_cls.degenerate_runner(spec)
+            if inner is not None:
+                return self._run_degenerate(inner)
         self._churn_applier = ChurnApplier(self._merged_churn())
         for period in range(1, spec.periods + 1):
             self._run_period(period)
@@ -453,11 +360,9 @@ class MultiHopRunner:
     # Degenerate (complete-graph) delegation
     # ------------------------------------------------------------------
 
-    def _run_degenerate(self) -> MultiHopResult:
-        """Run a complete-graph spec on the single-hop reference lane."""
+    def _run_degenerate(self, inner: NetworkRunner) -> MultiHopResult:
+        """Run a complete-graph spec on the protocol's single-hop lane."""
         spec = self.spec
-        scenario, config = degenerate_scenario(spec)
-        inner = build_sstsp_network(scenario, config=config)
         # Keep the full clock matrix: per-hop errors are reconstructed
         # from it after the run.
         inner.params = replace(inner.params, keep_values=True)
@@ -552,7 +457,7 @@ class MultiHopRunner:
             self._events.append(f"p{period}: node {node_id} left")
             emit("churn_leave", t_us=t_us, node=node_id, period=period)
             if node_id == self.root:
-                self.root = -1  # orphaned; hop-1 children will elect
+                self.root = -1  # orphaned; first-hop children will elect
 
         def ret(node_id: int) -> None:
             node = self._by_id[node_id]
@@ -574,120 +479,38 @@ class MultiHopRunner:
     # Phases of one period
     # ------------------------------------------------------------------
 
-    def _relay_turn(self, node: int, period: int) -> bool:
-        """Relay scheduling with deterministic same-hop rotation.
-
-        With every same-hop station relaying every BP, dense neighbourhoods
-        collide persistently; with *random* thinning, receivers keep
-        flipping upstreams (each flip resets their sample history). A
-        deterministic rotation - each station relays every K-th period at
-        a fixed (randomly drawn, then frozen) phase - cuts collisions while
-        keeping each upstream's beacons periodic, so downstream sample
-        pairs stay within the pair-gap limit.
-
-        The rotation counts same-hop stations over the *two-hop*
-        neighbourhood: hidden terminals (same-hop stations out of carrier-
-        sense range but sharing a receiver) are exactly the pairs that
-        carrier sensing cannot separate.
-        """
-        spec = self.spec
-        if spec.relay_probability < 1.0:
-            return self._slot_rng.random() < spec.relay_probability
-        state = self._state(node)
-        same_hop = sum(
-            1
-            for other in spec.topology.two_hop_neighbors(node)
-            if self._by_id[other].present
-            and self._state(other).hop == state.hop
-        )
-        if same_hop == 0:
-            return True
-        cycle = min(4, 1 + same_hop)
-        return period % cycle == self._relay_phase_for(node, cycle)
-
-    def _relay_phase_for(self, node: int, cycle: int) -> int:
-        """Greedy phase coloring over the same-hop/2-hop conflict graph.
-
-        Two hidden same-hop stations with *equal* fixed phases would
-        collide forever at their common receivers; purely random per-period
-        draws starve dense neighbourhoods instead. Greedily picking the
-        phase least used by already-colored conflicting stations keeps
-        relaying periodic (downstream sample pairs stay fresh) while
-        resolving the permanent-collision cases. Phases are re-colored
-        when a station's hop (and thus its conflict set) changes.
-        """
-        state = self._state(node)
-        key = (node, state.hop, cycle)
-        phase = self._relay_phase.get(key)
-        if phase is not None:
-            return phase
-        used = [0] * cycle
-        for other in self.spec.topology.two_hop_neighbors(node):
-            other_state = self._state(other)
-            if other_state.hop != state.hop:
-                continue
-            other_phase = self._relay_phase.get((other, other_state.hop, cycle))
-            if other_phase is not None:
-                used[other_phase] += 1
-        least = min(used)
-        candidates = [p for p, count in enumerate(used) if count == least]
-        phase = candidates[node % len(candidates)]
-        self._relay_phase[key] = phase
-        return phase
-
-    def _backoff_range(self) -> int:
-        """Backoff slots usable inside a hop segment without bleeding the
-        transmission into the next segment."""
-        return max(
-            1, self.spec.hop_stride_slots - self.spec.beacon_airtime_slots
-        )
-
     def _collect_transmissions(
         self,
         period: int,
         stalled: frozenset,
         partition: Optional[Dict[int, int]],
-    ) -> List[_Transmission]:
+    ) -> List[MultiHopFrame]:
         spec = self.spec
         nominal = period * spec.beacon_period_us
-        out: List[_Transmission] = []
-        orphan_election = self.root < 0 or not self._by_id[self.root].present
+        out: List[MultiHopFrame] = []
+        self.ctx.root = self.root
+        self.ctx.orphan_election = (
+            self.root < 0 or not self._by_id[self.root].present
+        )
         for i in range(self.n):
             node = self._by_id[i]
             if not node.present or i in stalled:
                 continue
             state = node.protocol
-            if i == self.root:
-                delay = 0.0
-            elif orphan_election and state.hop == 1 and state.silent >= spec.l:
-                # orphaned children of a departed root: contend in segment 0
-                slot = int(self._slot_rng.integers(0, self._backoff_range()))
-                delay = slot * spec.slot_time_us
-            elif (
-                state.hop is not None
-                and state.hop >= 1
-                and state.adjustments >= 1
-                and self._relay_turn(i, period)
-            ):
-                slot = int(self._slot_rng.integers(0, self._backoff_range()))
-                delay = (
-                    state.hop * spec.hop_stride_slots + slot
-                ) * spec.slot_time_us
-            else:
+            delay = state.begin_period(period, self.ctx)
+            if delay is None:
                 continue
+            # The intent's schedule lives on the station's synchronized
+            # clock; map it to the true-time axis through the chain.
             tx_true = state.chain.true_at_adjusted(nominal + delay)
-            # normalized reference: the sender's clock reads exactly
-            # nominal + delay at tx, so its T^j estimate is ``nominal``
-            timestamp = nominal
-            hop = 0 if i == self.root else (state.hop if state.hop is not None else 0)
-            out.append(_Transmission(i, hop, period, tx_true, timestamp, delay))
+            out.append(state.make_frame(period, delay, tx_true, self.ctx))
         return self._carrier_sense(out, partition)
 
     def _carrier_sense(
         self,
-        candidates: List[_Transmission],
+        candidates: List[MultiHopFrame],
         partition: Optional[Dict[int, int]],
-    ) -> List[_Transmission]:
+    ) -> List[MultiHopFrame]:
         """802.11 deferral/cancellation over the hearing graph: a relay
         whose backoff expires while an *audible* neighbour's transmission
         is on the air cancels (it just received that beacon). Mutually
@@ -695,7 +518,7 @@ class MultiHopRunner:
         handled at the receivers. A partition fault cuts hearing across
         groups."""
         spec = self.spec
-        airtime = spec.beacon_airtime_slots * spec.slot_time_us
+        airtime = spec.airtime_slots * spec.slot_time_us
         by_sender = {tx.sender: tx for tx in candidates}
 
         def hears(sender: int):
@@ -717,19 +540,19 @@ class MultiHopRunner:
                 node=tx.sender,
                 period=tx.interval,
                 hop=tx.hop,
-                proto="sstsp",
+                proto=self.protocol_name,
             )
         return kept
 
     def _resolve_receptions(
         self,
-        transmissions: List[_Transmission],
+        transmissions: List[MultiHopFrame],
         stalled: frozenset,
         partition: Optional[Dict[int, int]],
-    ) -> Dict[int, List[_Transmission]]:
+    ) -> Dict[int, List[MultiHopFrame]]:
         """Per-receiver spatial reception through the shared channel."""
         spec = self.spec
-        airtime = spec.beacon_airtime_slots * spec.slot_time_us
+        airtime = spec.airtime_slots * spec.slot_time_us
         by_sender = {tx.sender: tx for tx in transmissions}
         receivers = [
             i
@@ -747,7 +570,7 @@ class MultiHopRunner:
             [(tx.sender, tx.tx_true) for tx in transmissions],
             receivers,
             airtime,
-            size_bytes=SSTSP_BEACON_BYTES,
+            size_bytes=self._protocol_cls.beacon_bytes,
             audible=audible,
         )
         self.collisions += delivery.collisions
@@ -757,16 +580,13 @@ class MultiHopRunner:
         }
 
     def _process_receptions(
-        self, period: int, receptions: Dict[int, List[_Transmission]]
+        self, period: int, receptions: Dict[int, List[MultiHopFrame]]
     ) -> Set[int]:
         """Returns the set of receivers that *accepted* a beacon (decoded,
-        interval-fresh and guard-passing) - the input to silence tracking."""
-        spec = self.spec
+        interval-fresh and plausibility-passing) - the input to silence
+        tracking. The accept/reject decision itself is the protocol's."""
         accepted: Set[int] = set()
-        latency = (
-            spec.beacon_airtime_slots * spec.slot_time_us
-            + spec.propagation_delay_us
-        )
+        latency = self.ctx.rx_latency_us
         for receiver, decoded in receptions.items():
             for tx in decoded:
                 emit(
@@ -775,170 +595,48 @@ class MultiHopRunner:
                     node=receiver,
                     src=tx.sender,
                     period=period,
-                    proto="sstsp",
+                    proto=self.protocol_name,
                 )
             if receiver == self.root:
                 accepted.add(receiver)
                 continue
-            state = self._state(receiver)
-            # Upstream selection: stick with the current upstream whenever
-            # its beacon decoded (switching resets the sample history);
-            # switch only to a strictly better hop, or when the current
-            # upstream went quiet.
-            decoded.sort(key=lambda tx: (tx.hop, tx.tx_true))
-            best = decoded[0]
-            current = next(
-                (tx for tx in decoded if tx.sender == state.upstream), None
-            )
-            if current is not None and best.hop >= current.hop:
-                chosen = current
-            elif current is not None and best.hop < current.hop:
-                chosen = best  # strictly better hop: re-hang
-            elif state.upstream is None or state.silent >= 2 * self.spec.l:
-                chosen = best
-            else:
-                continue  # upstream not heard this period; stay patient
-            arrival = chosen.tx_true + latency
-            jitter = self.channel.sample_timestamp_error()
-            # normalise out the sender's deterministic schedule delay (see
-            # _Transmission): both sides of the sample sit on the BP grid
-            hw = self._hw_at(receiver, arrival) - chosen.delay_us
-            est = chosen.timestamp + latency + jitter
-            local = state.clock.read_current(hw)
-            if state.hop is None:
-                # first contact: loose initialisation (the coarse phase of
-                # a joiner, collapsed to one sample for founding nodes that
-                # are loosely synchronized already)
-                state.chain.adjusted = AdjustedClock(
-                    state.clock.k, state.clock.b + (est - local)
-                )
-                state.hop = chosen.hop + 1
-                state.upstream = chosen.sender
-                state.silent = 0
+            if self._state(receiver).on_receptions(period, decoded, self.ctx):
                 accepted.add(receiver)
-                continue
-            guard = spec.guard_fine_us + spec.guard_per_hop_us * (chosen.hop + 1)
-            if abs(est - local) > guard:
-                emit(
-                    "guard_reject",
-                    t_us=local,
-                    node=receiver,
-                    diff_us=abs(est - local),
-                    threshold_us=guard,
-                )
-                continue  # guard time: replayed/delayed/forged or far drift
-            silent_before = state.silent
-            state.silent = 0
-            accepted.add(receiver)
-            better_hop = chosen.hop + 1 < state.hop
-            if chosen.sender != state.upstream:
-                if (
-                    better_hop
-                    or state.upstream is None
-                    or silent_before >= 2 * spec.l
-                ):
-                    state.upstream = chosen.sender
-                    state.hop = chosen.hop + 1
-                    state.samples.clear()
-                    state.pending = None
-                else:
-                    continue  # stick with the current upstream
-            else:
-                state.hop = chosen.hop + 1
-            # uTESLA delayed authentication: last period's pending
-            # observation from this upstream becomes a sample now
-            if state.pending is not None and state.pending[0] < period:
-                interval, p_hw, p_est = state.pending
-                state.samples.append(AdjustmentSample(interval, p_hw, p_est))
-                del state.samples[:-2]
-            state.pending = (period, hw, est)
-            self._try_adjust(receiver, period, hw)
         return accepted
-
-    def _try_adjust(self, receiver: int, period: int, hw_now: float) -> None:
-        spec = self.spec
-        state = self._state(receiver)
-        if len(state.samples) < 2:
-            return
-        newest, older = state.samples[-1], state.samples[-2]
-        # freshness limits sized to the relay rotation: an upstream on a
-        # cycle-4 rotation yields samples up to 4 periods apart
-        if period - newest.interval > 6 or newest.interval - older.interval > 9:
-            return
-        # generalised equation (5): extrapolate the upstream's own grid
-        target = newest.ref_timestamp + (
-            period + spec.m - newest.interval
-        ) * spec.beacon_period_us
-        try:
-            k, b = solve_adjustment(
-                state.clock.k, state.clock.b, hw_now, newest, older, target
-            )
-        except DegenerateSamplesError:
-            return
-        if abs(k - 1.0) > spec.k_clamp:
-            return
-        try:
-            state.clock.adjust(k, b, hw_now)
-        except MonotonicityError:
-            return
-        state.adjustments += 1
 
     def _end_period(
         self, period: int, accepted: Set[int], stalled: frozenset
     ) -> None:
-        spec = self.spec
         orphan_election = self.root < 0
         for i in range(self.n):
             node = self._by_id[i]
             if not node.present or i == self.root or i in stalled:
                 continue
-            state = node.protocol
-            if i not in accepted:
-                state.silent += 1
-                if state.silent > 4 * spec.l and state.upstream is not None:
-                    # upstream lost: detach and re-acquire from any beacon
-                    state.samples.clear()
-                    state.pending = None
-                    state.upstream = None
-                if state.silent > spec.resync_after_periods and state.hop is not None:
-                    # nothing acceptable heard for a long stretch: this
-                    # clock has diverged beyond the guard - start over
-                    state.reset_sync()
+            node.protocol.end_period(period, i in accepted, self.ctx)
         if orphan_election:
-            # a hop-1 orphan that transmitted and heard nothing becomes root
+            # a volunteer that transmitted and heard nothing becomes root
             candidates = [
                 i
                 for i in range(self.n)
                 if self._by_id[i].present
                 and i not in stalled
-                and self._state(i).hop == 1
-                and i not in accepted
+                and self._state(i).wants_root_takeover(i in accepted)
             ]
             # the transmission set for this period is gone; approximate the
             # single-winner rule with the earliest-slot draw equivalent:
             if candidates:
                 winner = candidates[0]
                 self.root = winner
-                state = self._state(winner)
-                state.hop = 0
-                state.upstream = None
                 self.root_changes += 1
                 emit(
                     "reference_change",
-                    t_us=period * spec.beacon_period_us,
+                    t_us=period * self.spec.beacon_period_us,
                     old_ref=self._last_valid_root,
                     new_ref=winner,
                     period=period,
                 )
                 self._last_valid_root = winner
-                # the new root is the timebase: clamp away any transient
-                # slewing slope (same rationale as the single-hop
-                # reference_pace_clamp), continuously at the current time
-                hw_now = self._hw_at(winner, (period + 1) * spec.beacon_period_us)
-                k_old = state.clock.k
-                k_new = min(max(k_old, 1.0 - 3e-4), 1.0 + 3e-4)
-                if k_new != k_old:
-                    state.clock.slew_to(0.0, k_new, at_local_time=hw_now)
+                self._state(winner).on_elected_root(period, self.ctx)
 
     def _sample_metrics(self, period: int) -> None:
         spec = self.spec
@@ -947,7 +645,7 @@ class MultiHopRunner:
         present_synced = []
         for i in range(self.n):
             node = self._by_id[i]
-            if node.present and node.protocol.hop is not None:
+            if node.present and node.protocol.is_synchronized():
                 values.append(self._adjusted_at(i, sample_time))
                 present_synced.append(i)
         self.recorder.record(

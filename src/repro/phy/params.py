@@ -21,6 +21,15 @@ SSTSP_BEACON_BYTES: int = 92
 #: Beacon airtime in slot times (paper section 5).
 TSF_BEACON_AIRTIME_SLOTS: int = 4
 SSTSP_BEACON_AIRTIME_SLOTS: int = 7
+#: Beaconless one-way dissemination (Huan et al. style): a bare piggyback
+#: timestamp — 24-byte preamble + 8-byte timestamp + 1-byte hop + 1-byte
+#: schedule-delay index, no authentication material.
+BEACONLESS_BEACON_BYTES: int = 34
+BEACONLESS_BEACON_AIRTIME_SLOTS: int = 3
+#: Cooperative spatial-averaging beacon (Hu & Servetto style): TSF-sized
+#: payload + the sender's hop count and local sample weight.
+COOP_BEACON_BYTES: int = 60
+COOP_BEACON_AIRTIME_SLOTS: int = 4
 
 
 @dataclass(frozen=True)

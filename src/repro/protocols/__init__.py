@@ -5,6 +5,12 @@ surveys (ATSP, TATSP [4], SATSF [10], Rentel-Kunz [1]) and SSTSP itself
 (:mod:`repro.core`) - implement the per-node driver interface of
 :mod:`repro.protocols.base` and run unchanged inside the
 :mod:`repro.network` harness.
+
+Multi-hop schemes implement :class:`~repro.protocols.multihop_base.
+MultiHopProtocol` instead and run inside the spatial
+:mod:`repro.multihop` harness; they register by short name in
+:data:`~repro.protocols.multihop_base.MULTIHOP_PROTOCOLS` (lazy dotted
+paths, so importing this package stays light).
 """
 
 from repro.protocols.base import (
@@ -12,6 +18,14 @@ from repro.protocols.base import (
     RxContext,
     SyncProtocol,
     TxIntent,
+)
+from repro.protocols.multihop_base import (
+    MULTIHOP_PROTOCOLS,
+    MultiHopContext,
+    MultiHopFrame,
+    MultiHopProtocol,
+    available_multihop_protocols,
+    resolve_multihop_protocol,
 )
 from repro.protocols.tsf import TsfConfig, TsfProtocol
 from repro.protocols.atsp import AtspConfig, AtspProtocol
@@ -34,4 +48,10 @@ __all__ = [
     "SatsfProtocol",
     "RentelConfig",
     "RentelProtocol",
+    "MULTIHOP_PROTOCOLS",
+    "MultiHopContext",
+    "MultiHopFrame",
+    "MultiHopProtocol",
+    "available_multihop_protocols",
+    "resolve_multihop_protocol",
 ]

@@ -1,0 +1,211 @@
+"""Beaconless asymmetric one-way dissemination (Huan et al. style).
+
+Modeled after the energy-efficient WSN scheme of Huan, Kim, Lee, Kim &
+Ko (arXiv:1906.09037): time flows strictly *one way* from the source,
+timestamps ride piggyback on frames a node was sending anyway (here: a
+bare 34-byte piggyback frame, no authentication material), and receivers
+compensate skew by **least-squares regression** over a sliding window of
+one-way observations instead of exchanging two-way handshakes.
+
+Differences from SSTSP relaying, deliberately kept (they are the
+scheme's identity, and the shootout measures their cost):
+
+* **No security envelope** — no uTESLA pending buffer, no per-hop guard
+  window; every decoded frame becomes a sample immediately. Cheaper and
+  faster to converge, but a forged timestamp would be consumed as-is.
+* **Asymmetric duty cycle** — relays disseminate every other period
+  (``_DUTY_CYCLE``), halving beacon traffic; the regression window
+  tolerates the sparser sampling because one-way samples are cheap.
+* **Windowed regression** — offset *and* skew come from an 8-sample
+  ordinary-least-squares fit of (local hardware time → upstream time),
+  the paper's asymmetric high-precision estimator, rather than the
+  two-sample closed form of SSTSP equations (2)-(5).
+
+The correction is applied as a *slew*: the adjusted clock is re-sloped,
+continuously at the current instant, to intersect the regression line
+one beacon period ahead — so the clock never steps and
+``audit_no_leaps`` holds for this protocol too.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.clocks.adjusted import AdjustedClock, MonotonicityError
+from repro.phy.params import (
+    BEACONLESS_BEACON_AIRTIME_SLOTS,
+    BEACONLESS_BEACON_BYTES,
+)
+from repro.protocols.multihop_base import (
+    MultiHopContext,
+    MultiHopFrame,
+    MultiHopProtocol,
+)
+
+#: Relays disseminate every other period (the scheme's energy asymmetry).
+_DUTY_CYCLE = 2
+#: Sliding regression window (samples).
+_WINDOW = 8
+#: Discard samples older than this many periods (a stale window would
+#: drag the fit after an upstream change or long outage).
+_MAX_SAMPLE_AGE = 40
+
+
+class BeaconlessProtocol(MultiHopProtocol):
+    """One station's beaconless dissemination driver."""
+
+    protocol_name = "beaconless"
+    beacon_bytes = BEACONLESS_BEACON_BYTES
+    beacon_airtime_slots = BEACONLESS_BEACON_AIRTIME_SLOTS
+
+    def __init__(self, node_id, chain, spec) -> None:
+        super().__init__(node_id, chain, spec)
+        #: (period, hw_on_grid, upstream_time) observations.
+        self.samples: List[Tuple[int, float, float]] = []
+
+    def reset_sync(self) -> None:
+        super().reset_sync()
+        self.samples.clear()
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+
+    def begin_period(self, period: int, ctx: MultiHopContext) -> Optional[float]:
+        spec = self.spec
+        if self.node_id == ctx.root:
+            return 0.0
+        if ctx.orphan_election and self.hop == 1 and self.silent >= spec.l:
+            slot = int(ctx.slot_rng.integers(0, self._backoff_range()))
+            return slot * spec.slot_time_us
+        if (
+            self.hop is not None
+            and self.hop >= 1
+            and self.adjustments >= 1
+            and (period + self.node_id) % _DUTY_CYCLE == 0
+        ):
+            slot = int(ctx.slot_rng.integers(0, self._backoff_range()))
+            return (self.hop * spec.hop_stride_slots + slot) * spec.slot_time_us
+        return None
+
+    def make_frame(
+        self, period: int, delay_us: float, tx_true: float, ctx: MultiHopContext
+    ) -> MultiHopFrame:
+        nominal = period * self.spec.beacon_period_us
+        hop = (
+            0
+            if self.node_id == ctx.root
+            else (self.hop if self.hop is not None else 0)
+        )
+        return MultiHopFrame(
+            sender=self.node_id,
+            hop=hop,
+            interval=period,
+            tx_true=tx_true,
+            timestamp=nominal,
+            delay_us=delay_us,
+        )
+
+    def _backoff_range(self) -> int:
+        return max(1, self.spec.hop_stride_slots - self.spec.airtime_slots)
+
+    # ------------------------------------------------------------------
+    # Reception: windowed least squares over one-way samples
+    # ------------------------------------------------------------------
+
+    def on_receptions(
+        self, period: int, decoded: List[MultiHopFrame], ctx: MultiHopContext
+    ) -> bool:
+        spec = self.spec
+        decoded.sort(key=lambda tx: (tx.hop, tx.tx_true))
+        best = decoded[0]
+        current = next(
+            (tx for tx in decoded if tx.sender == self.upstream), None
+        )
+        if current is not None and best.hop >= current.hop:
+            chosen = current
+        elif current is not None:
+            chosen = best  # strictly better hop: re-hang
+        elif self.upstream is None or self.silent >= 2 * spec.l:
+            chosen = best
+        else:
+            return False  # upstream quiet this period; stay patient
+        arrival = chosen.tx_true + ctx.rx_latency_us
+        jitter = ctx.sample_timestamp_error()
+        hw = self.chain.hw.read(arrival) - chosen.delay_us
+        est = chosen.timestamp + ctx.rx_latency_us + jitter
+        self.silent = 0
+        if self.hop is None:
+            # first contact: one-shot offset alignment, then regress
+            local = self.clock.read_current(hw)
+            self.chain.adjusted = AdjustedClock(
+                self.clock.k, self.clock.b + (est - local)
+            )
+            self.hop = chosen.hop + 1
+            self.upstream = chosen.sender
+            self.samples.clear()
+            return True
+        if chosen.sender != self.upstream:
+            # one-way scheme: no stickiness ceremony, but the regression
+            # window only ever mixes samples from a single upstream
+            self.upstream = chosen.sender
+            self.samples.clear()
+        self.hop = chosen.hop + 1
+        self.samples.append((period, hw, est))
+        del self.samples[: -_WINDOW]
+        while self.samples and period - self.samples[0][0] > _MAX_SAMPLE_AGE:
+            self.samples.pop(0)
+        self._refit(period, hw)
+        return True
+
+    def _refit(self, period: int, hw_now: float) -> None:
+        """OLS fit of upstream time over local hardware time; slew the
+        adjusted clock onto the fitted line over one beacon period."""
+        spec = self.spec
+        if len(self.samples) < 2:
+            return
+        n = len(self.samples)
+        mean_hw = sum(s[1] for s in self.samples) / n
+        mean_est = sum(s[2] for s in self.samples) / n
+        var = sum((s[1] - mean_hw) ** 2 for s in self.samples)
+        if var <= 0.0:
+            return
+        cov = sum(
+            (s[1] - mean_hw) * (s[2] - mean_est) for s in self.samples
+        )
+        k_fit = cov / var
+        if abs(k_fit - 1.0) > spec.k_clamp:
+            return
+        b_fit = mean_est - k_fit * mean_hw
+        # Converge onto the fitted line at the *next expected update*
+        # (one duty cycle out), continuously from now. A shorter horizon
+        # would overshoot the line and keep overshooting until the next
+        # refit — an oscillation that compounds per hop.
+        horizon = _DUTY_CYCLE * spec.beacon_period_us
+        current = self.clock.read_current(hw_now)
+        target = k_fit * (hw_now + horizon) + b_fit
+        slope = (target - current) / horizon
+        if abs(slope - 1.0) > spec.k_clamp:
+            # far off the line (fresh join, post-outage): step the window
+            # limit — take the clamped slope and let later fits finish
+            slope = min(max(slope, 1.0 - spec.k_clamp), 1.0 + spec.k_clamp)
+        try:
+            self.clock.adjust(slope, current - slope * hw_now, hw_now)
+        except MonotonicityError:
+            return
+        self.adjustments += 1
+
+    # ------------------------------------------------------------------
+    # Silence
+    # ------------------------------------------------------------------
+
+    def end_period(self, period: int, accepted: bool, ctx: MultiHopContext) -> None:
+        spec = self.spec
+        if accepted:
+            return
+        self.silent += 1
+        if self.silent > 4 * spec.l and self.upstream is not None:
+            self.samples.clear()
+            self.upstream = None
+        if self.silent > spec.resync_after_periods and self.hop is not None:
+            self.reset_sync()

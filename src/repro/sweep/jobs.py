@@ -39,6 +39,8 @@ _REGISTRY: Dict[str, str] = {
     "chaos_plan": "repro.experiments.chaos:job_chaos_plan",
     # one multi-hop scenario -> flat summary payload
     "multihop_run": "repro.experiments.multihop:job_multihop_run",
+    # one (protocol, scenario, replica) shootout cell -> flat payload
+    "shootout_run": "repro.experiments.shootout:job_shootout_run",
 }
 
 

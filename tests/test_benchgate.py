@@ -3,7 +3,7 @@
 Covers the BENCH_*.json format (byte-stable write, schema-versioned
 load), the comparison semantics (noise band, noise floor, missing/new,
 accuracy drift), the CLI exit codes, and — the acceptance criterion —
-that the committed ``BENCH_7.json`` baseline passes a self-gate while a
+that the committed ``BENCH_8.json`` baseline passes a self-gate while a
 synthetic 2x slowdown of it fails.
 """
 
@@ -26,7 +26,7 @@ from repro.analysis.benchgate import (
 )
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-BASELINE = os.path.join(REPO_ROOT, "BENCH_7.json")
+BASELINE = os.path.join(REPO_ROOT, "BENCH_8.json")
 
 
 def record(name: str, median: float, extra=None):
@@ -168,12 +168,16 @@ class TestCli:
 
 
 class TestCommittedBaseline:
-    """Acceptance: the repo's own BENCH_7.json gates correctly."""
+    """Acceptance: the repo's own BENCH_8.json gates correctly."""
 
     def test_baseline_exists_and_loads(self):
         payload_ = load_bench_json(BASELINE)
-        assert payload_["label"] == "7"
+        assert payload_["label"] == "8"
         assert payload_["benchmarks"], "baseline must not be empty"
+        assert (
+            "benchmarks/bench_shootout.py::test_shootout_suite"
+            in payload_["benchmarks"]
+        )
         # At least one benchmark must sit above the default noise floor,
         # otherwise the gate compares nothing and guards nothing.
         gateable = [
