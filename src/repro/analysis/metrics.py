@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -163,7 +163,7 @@ class SyncTrace:
             last = rid
         return changes
 
-    def to_rows(self):
+    def to_rows(self) -> Iterator[Tuple[float, float]]:
         """Iterate ``(time_s, max_diff_us)`` rows (for CSV / table output)."""
         for t, d in zip(self.times_us, self.max_diff_us):
             yield t / S, float(d)

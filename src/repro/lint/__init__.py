@@ -16,9 +16,18 @@ it can run anywhere the interpreter runs, including minimal CI jobs:
     Lint files or directories (default: ``src/repro``); exit 1 on
     findings, 0 when clean.
 
-Rules carry stable codes (``D001``–``D006``, see
-:data:`repro.lint.rules.RULES`), findings can be suppressed per line
-with ``# reprolint: disable=Dxxx`` pragmas, and a JSON baseline file can
+Analysis happens at two scopes. The **D-series**
+(:data:`repro.lint.rules.RULES`) is per-file: unseeded randomness,
+wall-clock reads, unordered iteration, float time equality, mutable
+defaults, stray hashlib. The **T/E/R families**
+(:data:`repro.lint.flowrules.FLOW_RULES`) are project-wide, built on a
+lightweight import graph and per-module symbol table
+(:mod:`repro.lint.project`): timebase-flow checks (T101–T103), trace
+contract checks against the runtime's own event schema (E201–E204), and
+RNG stream-discipline checks (R301–R303).
+
+Rules carry stable codes, findings can be suppressed per line with
+``# reprolint: disable=<code>`` pragmas, and a JSON baseline file can
 grandfather existing findings while gating new ones
 (:mod:`repro.lint.diagnostics`). ``docs/static-analysis.md`` documents
 each rule and the suppression policy.
@@ -31,22 +40,31 @@ from repro.lint.diagnostics import (
     Diagnostic,
     apply_baseline,
     load_baseline,
+    render_json,
     write_baseline,
 )
-from repro.lint.engine import lint_file, lint_paths, package_relative
+from repro.lint.engine import ALL_RULES, lint_file, lint_paths, package_relative
+from repro.lint.flowrules import FLOW_RULES
+from repro.lint.project import ModuleInfo, ProjectModel, build_module_info
 from repro.lint.rules import RULES, FileContext, LintConfig, Rule
 
 __all__ = [
+    "ALL_RULES",
     "Baseline",
     "Diagnostic",
+    "FLOW_RULES",
     "FileContext",
     "LintConfig",
+    "ModuleInfo",
+    "ProjectModel",
     "RULES",
     "Rule",
     "apply_baseline",
+    "build_module_info",
     "lint_file",
     "lint_paths",
     "load_baseline",
     "package_relative",
+    "render_json",
     "write_baseline",
 ]

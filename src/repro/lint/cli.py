@@ -9,7 +9,8 @@ Examples
 
     python -m repro.lint                     # lint src/repro
     python -m repro.lint src/repro/sweep     # one subpackage
-    python -m repro.lint --list-rules        # what each Dxxx means
+    python -m repro.lint --format json       # machine-readable report
+    python -m repro.lint --list-rules        # what each code means
     python -m repro.lint --baseline .reprolint-baseline.json \
         --write-baseline                     # grandfather current findings
 """
@@ -22,9 +23,13 @@ import textwrap
 from pathlib import Path
 from typing import List, Optional
 
-from repro.lint.diagnostics import apply_baseline, load_baseline, write_baseline
-from repro.lint.engine import expand_paths, lint_paths
-from repro.lint.rules import RULES
+from repro.lint.diagnostics import (
+    apply_baseline,
+    load_baseline,
+    render_json,
+    write_baseline,
+)
+from repro.lint.engine import ALL_RULES, expand_paths, lint_paths
 
 #: Linted when no paths are given, resolved against the cwd.
 DEFAULT_TARGET = "src/repro"
@@ -59,11 +64,18 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="describe every rule code and exit",
     )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format: 'text' (one line per finding, default) or "
+        "'json' (byte-stable document for CI artifacts)",
+    )
     return parser
 
 
 def _print_rules() -> None:
-    for rule in RULES:
+    for rule in ALL_RULES:
         print(f"{rule.code}  {rule.title}")
         print(textwrap.indent(textwrap.fill(rule.rationale, width=74), "      "))
 
@@ -101,8 +113,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             parser.error(f"baseline file not found: {args.baseline}")
         findings = apply_baseline(findings, load_baseline(args.baseline))
 
-    for diag in findings:
-        print(diag.render())
+    if args.format == "json":
+        sys.stdout.write(render_json(findings, checked))
+    else:
+        for diag in findings:
+            print(diag.render())
     if findings:
         print(f"reprolint: {len(findings)} finding(s)", file=sys.stderr)
         return 1

@@ -60,6 +60,41 @@ class Diagnostic:
         """Line-independent identity used for baseline matching."""
         return (self.path, self.code, self.message)
 
+    def as_dict(self) -> dict:
+        """JSON-ready form for ``--format json`` (keys sorted on dump)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+#: Version of the ``--format json`` report document, independent of the
+#: baseline format version.
+REPORT_VERSION = 1
+
+
+def render_json(diagnostics: Iterable[Diagnostic], files_checked: int) -> str:
+    """The ``--format json`` report, byte-stable for a given finding set.
+
+    Findings are sorted by (path, line, col, code, message) and the
+    document serialised with sorted keys and a trailing newline, so the
+    same tree yields the identical byte stream on every run and
+    platform — CI archives it as an artifact and may diff it directly.
+    """
+    ordered = sorted(
+        diagnostics, key=lambda d: (d.path, d.line, d.col, d.code, d.message)
+    )
+    payload = {
+        "version": REPORT_VERSION,
+        "files_checked": files_checked,
+        "finding_count": len(ordered),
+        "findings": [d.as_dict() for d in ordered],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
 
 def load_baseline(path: Path) -> Baseline:
     """Read a baseline file written by :func:`write_baseline`.

@@ -1,11 +1,14 @@
 """The reprolint engine: file walking, pragmas, and rule dispatch.
 
-The engine parses each file once with :mod:`ast`, hands the tree to
-every rule in :data:`repro.lint.rules.RULES`, and filters the findings
-through suppression pragmas. Directory arguments expand to their
-``*.py`` files in sorted order, so output order — and therefore baseline
-files and CI logs — is deterministic (the engine holds itself to its
-own D003 rule).
+The engine parses each file once with :mod:`ast`, builds the
+cross-module :class:`~repro.lint.project.ProjectModel` over every file
+in the run, hands each tree (plus the model) to every rule in
+:data:`ALL_RULES` — the per-file D-series from
+:mod:`repro.lint.rules` and the project-wide T/E/R families from
+:mod:`repro.lint.flowrules` — and filters the findings through
+suppression pragmas. Directory arguments expand to their ``*.py`` files
+in sorted order, so output order — and therefore baseline files and CI
+logs — is deterministic (the engine holds itself to its own D003 rule).
 
 Suppression pragmas are comments anywhere on a line::
 
@@ -28,7 +31,12 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.lint.diagnostics import Diagnostic
+from repro.lint.flowrules import FLOW_RULES
+from repro.lint.project import ModuleInfo, ProjectModel, build_module_info
 from repro.lint.rules import RULES, FileContext, LintConfig, Rule, build_aliases
+
+#: The full default ruleset: per-file D-series plus project-wide T/E/R.
+ALL_RULES: Tuple[Rule, ...] = tuple(RULES) + tuple(FLOW_RULES)
 
 _PRAGMA_RE = re.compile(
     r"#\s*reprolint:\s*(disable(?:-next|-file)?)\s*=\s*"
@@ -69,37 +77,43 @@ def _parse_pragmas(source: str) -> Tuple[Dict[int, Set[str]], Set[str]]:
     return per_line, file_wide
 
 
-def lint_file(
-    path: Path,
-    config: Optional[LintConfig] = None,
-    rules: Sequence[Rule] = RULES,
-) -> List[Diagnostic]:
-    """Lint one file; return its findings sorted by position then code.
-
-    Unparseable files yield a single ``D000`` diagnostic (suppressible
-    like any other code, though fixing the file is the real answer).
-    """
-    config = config or LintConfig()
+def _parse_one(path: Path) -> Tuple[str, str, Optional[ast.AST], Optional[Diagnostic]]:
+    """Parse one file: (path string, source, tree | None, D000 | None)."""
     path_str = path.as_posix()
     source = path.read_text(encoding="utf-8")
     try:
         tree = ast.parse(source, filename=path_str)
     except SyntaxError as exc:
-        return [
-            Diagnostic(
-                path_str,
-                exc.lineno or 1,
-                (exc.offset or 1) - 1,
-                "D000",
-                f"file does not parse: {exc.msg}",
-            )
-        ]
+        diag = Diagnostic(
+            path_str,
+            exc.lineno or 1,
+            (exc.offset or 1) - 1,
+            "D000",
+            f"file does not parse: {exc.msg}",
+        )
+        return path_str, source, None, diag
+    return path_str, source, tree, None
+
+
+def _lint_parsed(
+    path_str: str,
+    rel: str,
+    source: str,
+    tree: ast.AST,
+    config: LintConfig,
+    rules: Sequence[Rule],
+    module: Optional[ModuleInfo],
+    project: Optional[ProjectModel],
+) -> List[Diagnostic]:
+    """Run rules over one already-parsed file; apply its pragmas."""
     ctx = FileContext(
         path=path_str,
-        rel=package_relative(path),
+        rel=rel,
         tree=tree,
         config=config,
         aliases=build_aliases(tree),
+        module=module,
+        project=project,
     )
     findings: List[Diagnostic] = []
     for rule in rules:
@@ -111,6 +125,31 @@ def lint_file(
         if d.code not in file_wide and d.code not in per_line.get(d.line, ())
     ]
     return sorted(kept, key=lambda d: (d.line, d.col, d.code))
+
+
+def lint_file(
+    path: Path,
+    config: Optional[LintConfig] = None,
+    rules: Sequence[Rule] = ALL_RULES,
+) -> List[Diagnostic]:
+    """Lint one file; return its findings sorted by position then code.
+
+    The project model spans just this file, so cross-module signature
+    resolution (T103) only sees the file's own symbols — use
+    :func:`lint_paths` for the full cross-module view. Unparseable
+    files yield a single ``D000`` diagnostic (suppressible like any
+    other code, though fixing the file is the real answer).
+    """
+    config = config or LintConfig()
+    path_str, source, tree, parse_error = _parse_one(path)
+    if tree is None:
+        return [parse_error] if parse_error else []
+    rel = package_relative(path)
+    module = build_module_info(rel, tree)
+    project = ProjectModel([module])
+    return _lint_parsed(
+        path_str, rel, source, tree, config, rules, module, project
+    )
 
 
 def expand_paths(paths: Iterable[Path]) -> List[Path]:
@@ -137,11 +176,41 @@ def expand_paths(paths: Iterable[Path]) -> List[Path]:
 def lint_paths(
     paths: Iterable[Path],
     config: Optional[LintConfig] = None,
-    rules: Sequence[Rule] = RULES,
+    rules: Sequence[Rule] = ALL_RULES,
 ) -> List[Diagnostic]:
-    """Lint files and directories; return all findings in stable order."""
+    """Lint files and directories; return all findings in stable order.
+
+    All files are parsed first and folded into one
+    :class:`~repro.lint.project.ProjectModel`, so the T/E/R families
+    see every module of the run — a unit mismatch at a call into
+    another linted module resolves against that module's real
+    signature, not a guess.
+    """
     config = config or LintConfig()
+    parsed: List[Tuple[str, str, str, ast.AST]] = []
     findings: List[Diagnostic] = []
+    infos: List[ModuleInfo] = []
     for path in expand_paths(paths):
-        findings.extend(lint_file(path, config=config, rules=rules))
+        path_str, source, tree, parse_error = _parse_one(path)
+        if tree is None:
+            if parse_error is not None:
+                findings.append(parse_error)
+            continue
+        rel = package_relative(path)
+        parsed.append((path_str, rel, source, tree))
+        infos.append(build_module_info(rel, tree))
+    project = ProjectModel(infos)
+    for path_str, rel, source, tree in parsed:
+        findings.extend(
+            _lint_parsed(
+                path_str,
+                rel,
+                source,
+                tree,
+                config,
+                rules,
+                project.module_for(rel),
+                project,
+            )
+        )
     return findings

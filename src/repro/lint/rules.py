@@ -90,6 +90,42 @@ class LintConfig:
     hash_allow: FrozenSet[str] = frozenset({"crypto/primitives.py"})
     #: Identifier suffixes that mark a name as time-valued for D004.
     time_suffixes: Tuple[str, ...] = ("_us", "_ms", "_s", "_tu")
+    #: Dotted names of the trace-event bus entry point; calls to these
+    #: are what the E-series checks against the event schema (and what
+    #: T103 skips — payload unit policy is E204's job).
+    emit_funcs: FrozenSet[str] = frozenset(
+        {"repro.obs.events.emit", "repro.obs.emit"}
+    )
+    #: Kernel packages where *any* RNG generator construction is an
+    #: R301 finding: kernel code receives streams from the registry /
+    #: driver seam, it never mints them. Orchestration layers
+    #: (``experiments``, ``analysis``, ``sweep``) may construct
+    #: generators — from derived seeds; unseeded construction is
+    #: flagged everywhere.
+    rng_kernel_packages: FrozenSet[str] = frozenset(
+        {
+            "clocks",
+            "core",
+            "crypto",
+            "fastlane",
+            "faults",
+            "mac",
+            "multihop",
+            "network",
+            "phy",
+            "protocols",
+            "security",
+        }
+    )
+    #: Modules exempt from R301 entirely — the seeded-stream factory.
+    rng_construct_allow: FrozenSet[str] = frozenset({"sim/rng.py"})
+    #: Glob patterns (against the package-relative path) selecting the
+    #: modules held to the RNG-free protocol-driver seam contract
+    #: (R302): protocol state must draw via ``ctx.slot_rng`` /
+    #: ``ctx.sample_timestamp_error``, never hold a generator.
+    rng_seam_modules: Tuple[str, ...] = ("protocols/multihop_*.py",)
+    #: Seam modules exempt from R302 — the seam *definition* itself.
+    rng_seam_allow: FrozenSet[str] = frozenset({"protocols/multihop_base.py"})
 
 
 @dataclass
@@ -107,6 +143,13 @@ class FileContext:
     #: Local name -> dotted module/attribute path, from the file's
     #: imports (``{"np": "numpy", "perf_counter": "time.perf_counter"}``).
     aliases: Dict[str, str] = field(default_factory=dict)
+    #: This file's :class:`repro.lint.project.ModuleInfo`, when the
+    #: engine built a project model (typed loosely to keep the import
+    #: direction rules -> project -> flowrules -> engine acyclic).
+    module: Optional[object] = None
+    #: The :class:`repro.lint.project.ProjectModel` spanning every file
+    #: of the run — what lets T103 resolve cross-module call signatures.
+    project: Optional[object] = None
 
     @property
     def package(self) -> str:
@@ -318,6 +361,36 @@ def _iteration_targets(tree: ast.AST) -> Iterator[ast.expr]:
                 yield gen.iter
 
 
+_FS_METHODS = frozenset({"glob", "rglob", "iterdir"})
+_FS_FUNCS = frozenset({"os.listdir", "os.scandir"})
+
+
+def describe_unordered(target: ast.expr, aliases: Dict[str, str]) -> Optional[str]:
+    """Describe why an iteration target is unordered, or None if it isn't.
+
+    Shared by D003 (unordered iteration) and R303 (RNG draws inside
+    unordered iteration), so both agree on what "unordered" means: set
+    literals/comprehensions, ``set()``/``frozenset()`` calls,
+    ``.keys()``, and filesystem enumeration.
+    """
+    if isinstance(target, ast.Set):
+        return "a set literal"
+    if isinstance(target, ast.SetComp):
+        return "a set comprehension"
+    if isinstance(target, ast.Call):
+        func = target.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return f"{func.id}(...)"
+        if isinstance(func, ast.Attribute):
+            if func.attr == "keys":
+                return ".keys()"
+            if func.attr in _FS_METHODS:
+                return f".{func.attr}(...) (filesystem order is platform-dependent)"
+        if qualify(func, aliases) in _FS_FUNCS:
+            return f"{qualify(func, aliases)}(...) (filesystem order is platform-dependent)"
+    return None
+
+
 class UnorderedIteration(Rule):
     """D003: iterating an unordered collection where order reaches results.
 
@@ -339,33 +412,12 @@ class UnorderedIteration(Rule):
         "wrap the iterable in sorted(...)."
     )
 
-    _FS_METHODS = frozenset({"glob", "rglob", "iterdir"})
-    _FS_FUNCS = frozenset({"os.listdir", "os.scandir"})
-
-    def _describe(self, target: ast.expr, aliases: Dict[str, str]) -> Optional[str]:
-        if isinstance(target, ast.Set):
-            return "a set literal"
-        if isinstance(target, ast.SetComp):
-            return "a set comprehension"
-        if isinstance(target, ast.Call):
-            func = target.func
-            if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
-                return f"{func.id}(...)"
-            if isinstance(func, ast.Attribute):
-                if func.attr == "keys":
-                    return ".keys()"
-                if func.attr in self._FS_METHODS:
-                    return f".{func.attr}(...) (filesystem order is platform-dependent)"
-            if qualify(func, aliases) in self._FS_FUNCS:
-                return f"{qualify(func, aliases)}(...) (filesystem order is platform-dependent)"
-        return None
-
     def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
         """Flag unordered iteration targets in scoped packages."""
         if ctx.package not in ctx.config.ordered_packages:
             return
         for target in _iteration_targets(ctx.tree):
-            what = self._describe(target, ctx.aliases)
+            what = describe_unordered(target, ctx.aliases)
             if what is not None:
                 yield self._diag(
                     ctx,

@@ -23,12 +23,16 @@ from repro.obs.events import (
     read_events,
     tracing_enabled,
 )
+from repro.obs.events_schema import EVENT_SCHEMAS, EventSpec, validate_record
 from repro.obs.profile import NULL_PROFILER, NullProfiler, Profiler
 from repro.obs.registry import HistogramSummary, MetricsRegistry, merge_snapshots
 
 __all__ = [
     "EVENT_CATALOG",
+    "EVENT_SCHEMAS",
+    "EventSpec",
     "TRACE_SCHEMA_VERSION",
+    "validate_record",
     "RunObserver",
     "current_observer",
     "emit",

@@ -30,31 +30,20 @@ import json
 import os
 from typing import Any, Dict, IO, Iterator, List, Optional
 
+from repro.obs.events_schema import (
+    EVENT_SCHEMAS,
+    TRACE_SCHEMA_VERSION,
+    validate_record,
+)
 from repro.obs.registry import MetricsRegistry
 
-#: Version of the JSONL record schema. Bump only for *breaking* changes
-#: (renamed/removed fields or events, changed timebases); adding a new
-#: event kind or a new optional field is backward compatible and does
-#: not bump it. Consumers must ignore unknown fields and unknown events.
-TRACE_SCHEMA_VERSION: int = 1
-
-#: The event catalog: event name -> owning subsystem. Every ``emit``
-#: call in the tree uses a name listed here (tests enforce it), so the
-#: catalog doubles as the schema's event inventory.
+#: The event catalog: event name -> owning subsystem. *Derived* from
+#: :data:`repro.obs.events_schema.EVENT_SCHEMAS` — the machine-readable
+#: per-event field spec that the reprolint E-series checks call sites
+#: against and :func:`read_events` validates records against — so the
+#: runtime bus, the validator and the linter share one event inventory.
 EVENT_CATALOG: Dict[str, str] = {
-    "beacon_tx": "network",
-    "beacon_rx": "network",
-    "contention_win": "mac.contention",
-    "guard_reject": "core.guard",
-    "mutesla_defer": "crypto.mutesla",
-    "mutesla_auth": "crypto.mutesla",
-    "mutesla_reject": "crypto.mutesla",
-    "reference_change": "network",
-    "coarse_done": "core.coarse",
-    "coarse_retry": "core.coarse",
-    "fault_applied": "faults",
-    "churn_leave": "network.churn",
-    "churn_return": "network.churn",
+    name: spec.subsystem for name, spec in EVENT_SCHEMAS.items()
 }
 
 
@@ -217,14 +206,20 @@ class observe_run:
         self.observer.close()
 
 
-def read_events(path: str) -> Iterator[Dict[str, Any]]:
+def read_events(path: str, validate: bool = False) -> Iterator[Dict[str, Any]]:
     """Iterate the records of one trace JSONL file (header included).
 
     Raises ValueError when the file's schema version is newer than this
-    reader understands; blank lines are skipped.
+    reader understands; blank lines are skipped. With ``validate=True``
+    every record is additionally checked against
+    :data:`repro.obs.events_schema.EVENT_SCHEMAS` (unknown events,
+    missing required fields, undeclared extras all raise) — the strict
+    mode for traces this very tree produced; leave it off when reading
+    traces from a newer producer, whose unknown events must be skipped,
+    not rejected.
     """
     with open(path, "r", encoding="utf-8") as fh:
-        for line in fh:
+        for lineno, line in enumerate(fh, start=1):
             line = line.strip()
             if not line:
                 continue
@@ -236,4 +231,8 @@ def read_events(path: str) -> Iterator[Dict[str, Any]]:
                         f"trace schema {schema} is newer than supported "
                         f"{TRACE_SCHEMA_VERSION}: {path}"
                     )
+            if validate:
+                problem = validate_record(record)
+                if problem is not None:
+                    raise ValueError(f"{path}:{lineno}: {problem}")
             yield record

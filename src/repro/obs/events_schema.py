@@ -1,0 +1,224 @@
+"""The machine-readable trace-event schema: one spec per event kind.
+
+This module is the *single source of truth* for what a trace record may
+contain. Three consumers read it:
+
+* :mod:`repro.obs.events` derives :data:`~repro.obs.events.EVENT_CATALOG`
+  (event name -> owning subsystem) from it, so the runtime bus and this
+  schema can never disagree on the event inventory;
+* :func:`repro.obs.events.read_events` validates records against it when
+  asked (``validate=True``), rejecting unknown events, missing required
+  payload keys and undeclared extras;
+* the reprolint **E-series** rules (``docs/static-analysis.md``) check
+  every ``emit()`` call site in the tree against it *statically*, so a
+  drifting call site fails CI before it ever produces a malformed trace.
+
+The module is deliberately **pure stdlib with no intra-package imports**:
+the linter loads it by file location (without executing ``repro.obs``'s
+``__init__``), so it must import cleanly on a bare interpreter.
+
+Field-presence vocabulary (:class:`EventSpec`): the envelope keys
+``t_us`` and ``node`` are per-event ``"required"`` / ``"optional"`` /
+``"absent"`` — e.g. ``coarse_done`` declares ``t_us`` absent because the
+coarse layer sees offsets, not a clock, while ``fault_applied`` declares
+it optional (an unbound injector has no runner to take time from).
+Payload fields are either required or optional by name. All time-valued
+payload fields are **microseconds** (suffix ``_us``) — the trace schema
+has a single unit domain, which is exactly what the lint E204 rule
+enforces at call sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+#: Schema version of the JSONL record format; re-exported (and compared
+#: against trace headers) by :mod:`repro.obs.events`. Lives here so the
+#: version and the event inventory travel together.
+TRACE_SCHEMA_VERSION: int = 1
+
+#: Envelope keys every record carries regardless of event kind.
+ENVELOPE_KEYS: Tuple[str, ...] = ("event", "seq")
+
+#: Allowed presence states for the ``t_us`` / ``node`` envelope fields.
+_PRESENCE = ("required", "optional", "absent")
+
+
+@dataclass(frozen=True)
+class EventSpec:
+    """Schema of one trace-event kind.
+
+    Attributes
+    ----------
+    subsystem:
+        Dotted owner, e.g. ``"core.guard"`` — the catalog value.
+    timebase:
+        Which clock stamps ``t_us``: ``"true"`` (simulated wall clock),
+        ``"local"`` (the acting station's adjusted clock) or ``"none"``
+        (the event carries no clock reading). Documentation plus the
+        anchor for the lint unit checks: every time-valued field of
+        every event is microseconds.
+    t_us / node:
+        Presence of the envelope fields: ``"required"``, ``"optional"``
+        or ``"absent"``.
+    required:
+        Payload keys every record of this kind must carry.
+    optional:
+        Payload keys a record of this kind may carry.
+    """
+
+    subsystem: str
+    timebase: str
+    t_us: str = "required"
+    node: str = "required"
+    required: Tuple[str, ...] = ()
+    optional: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.timebase not in ("true", "local", "none"):
+            raise ValueError(f"bad timebase {self.timebase!r}")
+        if self.t_us not in _PRESENCE or self.node not in _PRESENCE:
+            raise ValueError("t_us/node must be required|optional|absent")
+        if self.timebase == "none" and self.t_us != "absent":
+            raise ValueError("timebase 'none' requires t_us='absent'")
+
+    def allowed_keys(self) -> Tuple[str, ...]:
+        """Every key a record of this kind may legally carry."""
+        keys = list(ENVELOPE_KEYS) + list(self.required) + list(self.optional)
+        if self.t_us != "absent":
+            keys.append("t_us")
+        if self.node != "absent":
+            keys.append("node")
+        return tuple(keys)
+
+
+#: The event schema catalog, insertion-ordered to match the docs table.
+#: Adding an event or an *optional* field is backward compatible; a
+#: renamed/removed field or event, or a changed timebase, is breaking
+#: and bumps :data:`TRACE_SCHEMA_VERSION`.
+EVENT_SCHEMAS: Dict[str, EventSpec] = {
+    "beacon_tx": EventSpec(
+        subsystem="network",
+        timebase="true",
+        required=("period", "proto"),
+        optional=("hop",),
+    ),
+    "beacon_rx": EventSpec(
+        subsystem="network",
+        timebase="true",
+        required=("src", "period", "proto"),
+        optional=("hop",),
+    ),
+    "contention_win": EventSpec(
+        subsystem="mac.contention",
+        timebase="true",
+        required=("contenders",),
+        optional=("collisions",),
+    ),
+    "guard_reject": EventSpec(
+        subsystem="core.guard",
+        timebase="local",
+        required=("diff_us", "threshold_us"),
+    ),
+    "mutesla_defer": EventSpec(
+        subsystem="crypto.mutesla",
+        timebase="local",
+        required=("sender", "interval"),
+    ),
+    "mutesla_auth": EventSpec(
+        subsystem="crypto.mutesla",
+        timebase="local",
+        required=("sender", "interval"),
+    ),
+    "mutesla_reject": EventSpec(
+        subsystem="crypto.mutesla",
+        timebase="local",
+        required=("sender", "interval", "reason"),
+    ),
+    "reference_change": EventSpec(
+        subsystem="network",
+        timebase="true",
+        node="absent",
+        required=("old_ref", "new_ref", "period"),
+    ),
+    "coarse_done": EventSpec(
+        subsystem="core.coarse",
+        timebase="none",
+        t_us="absent",
+        required=("samples", "survivors", "offset_us"),
+    ),
+    "coarse_retry": EventSpec(
+        subsystem="core.coarse",
+        timebase="none",
+        t_us="absent",
+        required=("samples", "survivors"),
+    ),
+    "fault_applied": EventSpec(
+        subsystem="faults",
+        timebase="true",
+        t_us="optional",
+        node="absent",
+        required=("period", "detail"),
+    ),
+    "churn_leave": EventSpec(
+        subsystem="network.churn",
+        timebase="true",
+        required=("period",),
+    ),
+    "churn_return": EventSpec(
+        subsystem="network.churn",
+        timebase="true",
+        required=("period",),
+    ),
+}
+
+
+def validate_record(record: Mapping[str, Any]) -> Optional[str]:
+    """Check one trace record against the schema; None when it conforms.
+
+    Returns a human-readable problem description otherwise. The
+    ``trace_header`` pseudo-record is always accepted (its version gate
+    lives in :func:`repro.obs.events.read_events`). This is the *strict*
+    reading used by ``read_events(validate=True)`` and the trace CLI —
+    forward-compatible consumers that must tolerate newer producers
+    should keep validation off and skip unknown events instead.
+    """
+    event = record.get("event")
+    if not isinstance(event, str):
+        return "record has no string 'event' key"
+    if event == "trace_header":
+        return None
+    spec = EVENT_SCHEMAS.get(event)
+    if spec is None:
+        return f"unknown event {event!r}"
+    if "seq" not in record:
+        return f"{event}: missing 'seq'"
+    if spec.t_us == "required" and "t_us" not in record:
+        return f"{event}: missing required 't_us'"
+    if spec.t_us == "absent" and "t_us" in record:
+        return f"{event}: carries 't_us' but the schema declares none"
+    if spec.node == "required" and "node" not in record:
+        return f"{event}: missing required 'node'"
+    if spec.node == "absent" and "node" in record:
+        return f"{event}: carries 'node' but the schema declares none"
+    missing = [key for key in spec.required if key not in record]
+    if missing:
+        return f"{event}: missing required field(s) {', '.join(missing)}"
+    allowed = set(spec.allowed_keys())
+    extras = sorted(key for key in record if key not in allowed)
+    if extras:
+        return f"{event}: undeclared field(s) {', '.join(extras)}"
+    return None
+
+
+# Internal consistency: payload field names never collide with the
+# envelope, and every time-valued field is microsecond-suffixed (the
+# single-unit-domain property E204 leans on).
+for _name, _spec in EVENT_SCHEMAS.items():
+    _fields = _spec.required + _spec.optional
+    assert not set(_fields) & {"event", "seq", "t_us", "node"}, _name
+    assert all(
+        not f.endswith(("_s", "_ms", "_tu")) for f in _fields
+    ), f"{_name}: non-microsecond time field"
+del _name, _spec, _fields

@@ -25,7 +25,10 @@ from __future__ import annotations
 import enum
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.mac.beacon import BeaconFrame, SecureBeaconFrame
 
 
 class ClockKind(enum.Enum):
@@ -108,7 +111,9 @@ class SyncProtocol(ABC):
         transmission intent or None to stay silent."""
 
     @abstractmethod
-    def make_frame(self, hw_time: float, period: int):
+    def make_frame(
+        self, hw_time: float, period: int
+    ) -> Union["BeaconFrame", "SecureBeaconFrame"]:
         """Build the beacon frame for a transmission the MAC let through.
 
         ``hw_time`` is the node's hardware clock at the actual transmission
@@ -117,7 +122,9 @@ class SyncProtocol(ABC):
         """
 
     @abstractmethod
-    def on_beacon(self, frame, rx: RxContext) -> None:
+    def on_beacon(
+        self, frame: Union["BeaconFrame", "SecureBeaconFrame"], rx: RxContext
+    ) -> None:
         """Process one received beacon."""
 
     def end_period(

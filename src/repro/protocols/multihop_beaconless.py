@@ -29,9 +29,10 @@ one beacon period ahead — so the clock never steps and
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from repro.clocks.adjusted import AdjustedClock, MonotonicityError
+from repro.clocks.chain import ClockChain
 from repro.phy.params import (
     BEACONLESS_BEACON_AIRTIME_SLOTS,
     BEACONLESS_BEACON_BYTES,
@@ -41,6 +42,9 @@ from repro.protocols.multihop_base import (
     MultiHopFrame,
     MultiHopProtocol,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.multihop.runner import MultiHopSpec
 
 #: Relays disseminate every other period (the scheme's energy asymmetry).
 _DUTY_CYCLE = 2
@@ -58,7 +62,9 @@ class BeaconlessProtocol(MultiHopProtocol):
     beacon_bytes = BEACONLESS_BEACON_BYTES
     beacon_airtime_slots = BEACONLESS_BEACON_AIRTIME_SLOTS
 
-    def __init__(self, node_id, chain, spec) -> None:
+    def __init__(
+        self, node_id: int, chain: ClockChain, spec: "MultiHopSpec"
+    ) -> None:
         super().__init__(node_id, chain, spec)
         #: (period, hw_on_grid, upstream_time) observations.
         self.samples: List[Tuple[int, float, float]] = []

@@ -30,15 +30,19 @@ the current instant), so ``audit_no_leaps`` holds here too.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from repro.clocks.adjusted import AdjustedClock, MonotonicityError
+from repro.clocks.chain import ClockChain
 from repro.phy.params import COOP_BEACON_AIRTIME_SLOTS, COOP_BEACON_BYTES
 from repro.protocols.multihop_base import (
     MultiHopContext,
     MultiHopFrame,
     MultiHopProtocol,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.multihop.runner import MultiHopSpec
 
 #: Fraction of the neighbourhood-mean offset corrected per period.
 _ALPHA = 0.5
@@ -53,7 +57,9 @@ class CoopAverageProtocol(MultiHopProtocol):
     beacon_bytes = COOP_BEACON_BYTES
     beacon_airtime_slots = COOP_BEACON_AIRTIME_SLOTS
 
-    def __init__(self, node_id, chain, spec) -> None:
+    def __init__(
+        self, node_id: int, chain: ClockChain, spec: "MultiHopSpec"
+    ) -> None:
         super().__init__(node_id, chain, spec)
         #: Last aggregate observation: (hw_on_grid, mean upstream time).
         self._last_agg: Optional[Tuple[float, float]] = None
