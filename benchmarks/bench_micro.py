@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from conftest import measure_work
+
 from repro.clocks.population import ClockPopulation
 from repro.experiments.scenarios import quick_spec
 from repro.fastlane import run_sstsp_vectorized
@@ -29,6 +31,7 @@ def test_event_queue_throughput(benchmark):
         return count[0]
 
     assert benchmark(run_events) == 10_000
+    assert measure_work(benchmark, run_events) == 10_000
 
 
 def test_clock_population_read(benchmark):
@@ -36,6 +39,7 @@ def test_clock_population_read(benchmark):
     population = ClockPopulation.sample(10_000, rng)
     out = np.empty(10_000)
     benchmark(lambda: population.read_all(123_456.789, out=out))
+    measure_work(benchmark, lambda: population.read_all(123_456.789, out=out))
 
 
 def test_sstsp_vec_period_cost(benchmark):
@@ -46,3 +50,4 @@ def test_sstsp_vec_period_cost(benchmark):
         lambda: run_sstsp_vectorized(spec), rounds=2, iterations=1
     )
     assert len(result.trace) == spec.periods
+    measure_work(benchmark, run_sstsp_vectorized, spec)

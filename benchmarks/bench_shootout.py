@@ -10,7 +10,9 @@ paper's SSTSP carries the largest (authenticated) frames.
 
 from __future__ import annotations
 
-from conftest import paper_rows
+from dataclasses import replace
+
+from conftest import measure_work, paper_rows
 
 from repro.experiments import shootout
 
@@ -31,6 +33,10 @@ def test_shootout_suite(benchmark, sweep_options):
     rows = benchmark.pedantic(
         _run_suite, args=(sweep_options,), rounds=1, iterations=1
     )
+    # Counters live in the process that runs the kernels, so the work
+    # measurement pins workers=1; the tally is identical at any worker
+    # count anyway (the any-worker-count determinism contract).
+    measure_work(benchmark, _run_suite, replace(sweep_options, workers=1))
 
     by_cell = {(r["protocol"], r["scenario"]): r for r in rows}
     assert len(by_cell) == 6  # 3 protocols x 2 scenarios

@@ -16,6 +16,7 @@ import sys
 
 import pytest
 
+from repro.obs import count_work
 from repro.sweep import SweepOptions
 
 
@@ -68,6 +69,10 @@ def pytest_sessionfinish(session, exitstatus):
         if bench.has_error or not bench.stats.rounds:
             continue
         stats = bench.stats
+        extra_info = dict(bench.extra_info)
+        # measure_work() stashes the deterministic counters here; they
+        # get their own record field (gated exactly), not an extra.
+        work = extra_info.pop("work", None)
         records.append(
             bench_record(
                 fullname=bench.fullname,
@@ -78,7 +83,8 @@ def pytest_sessionfinish(session, exitstatus):
                 rounds=stats.rounds,
                 iterations=bench.iterations,
                 group=bench.group,
-                extra_info=dict(bench.extra_info),
+                extra_info=extra_info,
+                work=work,
             )
         )
     out = write_bench_json(
@@ -105,6 +111,23 @@ def sweep_options(request) -> SweepOptions:
         workers=workers,
         cache_dir=request.config.getoption("--sweep-cache-dir"),
     )
+
+
+def measure_work(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` once under the deterministic work counters and attach
+    the tally to the benchmark record (``BENCH_*.json``'s ``work`` field).
+
+    Deliberately *outside* the timed rounds: counting adds a dict update
+    per instrumented site, so the measured wall times stay comparable
+    with pre-counter baselines. The counters themselves are a pure
+    function of the workload — byte-identical on every machine — which
+    is what lets ``repro bench-gate`` compare them with zero tolerance.
+    Returns ``fn``'s result so callers can assert on it.
+    """
+    with count_work() as work:
+        result = fn(*args, **kwargs)
+    benchmark.extra_info["work"] = work.snapshot()
+    return result
 
 
 def paper_rows(benchmark, name: str, rows) -> None:

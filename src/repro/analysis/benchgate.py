@@ -67,8 +67,16 @@ def bench_record(
     iterations: int,
     group: Optional[str] = None,
     extra_info: Optional[Dict[str, Any]] = None,
+    work: Optional[Dict[str, int]] = None,
 ) -> Dict[str, Any]:
-    """One benchmark's entry in a ``BENCH_*.json`` file."""
+    """One benchmark's entry in a ``BENCH_*.json`` file.
+
+    ``work`` carries the benchmark's deterministic work counters
+    (:mod:`repro.obs.counters`) — a pure function of the workload, so
+    the gate compares them **exactly** (zero tolerance), independent of
+    the wall-time noise band. An additive field: baselines written
+    before it simply skip the work comparison.
+    """
     return {
         "fullname": fullname,
         "group": group,
@@ -79,6 +87,7 @@ def bench_record(
         "rounds": rounds,
         "iterations": iterations,
         "extra": _numeric_extra(extra_info or {}),
+        "work": {key: int((work or {})[key]) for key in sorted(work or {})},
     }
 
 
@@ -127,15 +136,29 @@ class GateReport:
     missing: List[str] = field(default_factory=list)
     new: List[str] = field(default_factory=list)
     extra_drift: List[str] = field(default_factory=list)
+    work_drift: List[str] = field(default_factory=list)
+    work_compared: int = 0
     lines: List[str] = field(default_factory=list)
 
-    def failed(self, strict: bool, extra_tolerance: Optional[float]) -> bool:
-        """Whether the gate should exit non-zero."""
+    def failed(
+        self,
+        strict: bool,
+        extra_tolerance: Optional[float],
+        gate_work: bool = True,
+    ) -> bool:
+        """Whether the gate should exit non-zero.
+
+        Work-counter drift fails by default (``gate_work``): the
+        counters are machine-independent, so *any* drift is a real
+        workload change, not noise.
+        """
         if self.regressions:
             return True
         if strict and self.missing:
             return True
         if extra_tolerance is not None and self.extra_drift:
+            return True
+        if gate_work and self.work_drift:
             return True
         return False
 
@@ -201,6 +224,24 @@ def compare_bench(
                     f"DRIFT     {name} extra[{key}]: "
                     f"{base_value!r} -> {cur_value!r} (rel {rel:.3g})"
                 )
+        # Deterministic work counters compare exactly: they are a pure
+        # function of the workload, so zero tolerance — separate from the
+        # wall-time noise band. Baselines/currents without work metrics
+        # (pre-PR-10 files, or benches that don't measure work) skip.
+        base_work = base.get("work") or {}
+        cur_work = cur.get("work") or {}
+        if base_work and cur_work:
+            report.work_compared += 1
+            for key in sorted(set(base_work) | set(cur_work)):
+                base_count = int(base_work.get(key, 0))
+                cur_count = int(cur_work.get(key, 0))
+                if base_count != cur_count:
+                    report.work_drift.append(f"{name}:{key}")
+                    report.lines.append(
+                        f"WORK      {name} work[{key}]: "
+                        f"{base_count} -> {cur_count} "
+                        f"({cur_count - base_count:+d})"
+                    )
     for name in sorted(cur_table):
         if name not in base_table:
             report.new.append(name)
@@ -238,6 +279,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--strict", action="store_true",
         help="also fail when a baseline benchmark is missing from current",
     )
+    parser.add_argument(
+        "--no-work-gate", action="store_true",
+        help="report deterministic work-counter drift without failing on "
+        "it (default: any work drift fails — the counters are "
+        "machine-independent, so drift is a real workload change)",
+    )
     args = parser.parse_args(argv)
     current = load_bench_json(args.current)
     baseline = load_bench_json(args.baseline)
@@ -259,9 +306,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"{report.skipped_fast} under the noise floor, "
         f"{len(report.regressions)} regressed, "
         f"{len(report.improvements)} improved, "
-        f"{len(report.missing)} missing, {len(report.new)} new"
+        f"{len(report.missing)} missing, {len(report.new)} new, "
+        f"{report.work_compared} work-checked, "
+        f"{len(report.work_drift)} work drift(s)"
     )
-    if report.failed(args.strict, args.extra_tolerance):
+    if report.failed(
+        args.strict, args.extra_tolerance, gate_work=not args.no_work_gate
+    ):
         print("bench-gate: FAIL", file=sys.stderr)
         return 1
     print("bench-gate: OK")

@@ -26,6 +26,12 @@ Subcommands
     merged metrics-registry roll-up (``merge_snapshots`` over every
     ``job_obs`` record). Writes ``<name>_log_summary.csv`` / ``.md`` and
     ``<name>_log_metrics.csv``.
+``bench``
+    Roll the committed ``BENCH_*.json`` trajectory files (see
+    :mod:`repro.analysis.benchgate`) into a cross-label trend view:
+    per-benchmark wall-time medians and deterministic work totals,
+    columns ordered by label (numeric labels numerically). Writes
+    ``results/analysis/<name>_trend.csv`` / ``.md``.
 
 Every emitted file is **byte-stable**: floats are serialized with
 ``repr`` in CSVs and fixed formats in markdown, rows are sorted, and the
@@ -40,6 +46,7 @@ import argparse
 import json
 import math
 import os
+import sys
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.stats import SummaryStats, summarize_values
@@ -644,12 +651,166 @@ def _cmd_log(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+# analyze bench
+# ----------------------------------------------------------------------
+
+
+def _bench_label_key(label: str) -> Tuple[int, int, str]:
+    """Sort key for BENCH labels: numeric labels first, in numeric
+    order, then everything else lexicographically."""
+    try:
+        return (0, int(label), label)
+    except ValueError:
+        return (1, 0, label)
+
+
+def discover_bench_files(root: str) -> List[str]:
+    """The committed ``BENCH_*.json`` trajectory files under ``root``,
+    in sorted-name order (the payload label decides the column order)."""
+    names = sorted(
+        name for name in os.listdir(root)
+        if name.startswith("BENCH_") and name.endswith(".json")
+    )
+    return [os.path.join(root, name) for name in names]
+
+
+def load_bench_trajectory(
+    paths: Sequence[str],
+) -> List[Tuple[str, str, Dict[str, Any]]]:
+    """Load trajectory files as ``(label, basename, payload)`` triples,
+    ordered by label (numeric labels numerically, then the rest)."""
+    from repro.analysis.benchgate import load_bench_json
+
+    loaded = []
+    for path in paths:
+        payload = load_bench_json(path)
+        label = str(payload.get("label"))
+        loaded.append((label, os.path.basename(path), payload))
+    loaded.sort(key=lambda item: (_bench_label_key(item[0]), item[1]))
+    return loaded
+
+
+def bench_trend_md_text(
+    trajectory: Sequence[Tuple[str, str, Dict[str, Any]]],
+) -> str:
+    """The benchmark-trajectory roll-up as byte-stable markdown.
+
+    One wall-time table (benchmark x label, medians in ms) and one
+    deterministic-work table (total counted ops per benchmark x label;
+    blank before the counters existed) over every loaded BENCH file.
+    """
+    labels = [label for label, _, _ in trajectory]
+    names = sorted(
+        {
+            name
+            for _, _, payload in trajectory
+            for name in payload["benchmarks"]
+        }
+    )
+
+    def record(payload: Dict[str, Any], name: str) -> Optional[Dict[str, Any]]:
+        entry = payload["benchmarks"].get(name)
+        return entry if isinstance(entry, dict) else None
+
+    wall_rows = []
+    work_rows = []
+    for name in names:
+        wall_cells = [name]
+        work_cells = [name]
+        for _, _, payload in trajectory:
+            entry = record(payload, name)
+            if entry is None:
+                wall_cells.append("-")
+                work_cells.append("-")
+                continue
+            wall_cells.append(_fmt(float(entry["median_s"]) * 1e3))
+            work = entry.get("work") or {}
+            total_ops = sum(int(work[key]) for key in sorted(work))
+            work_cells.append(str(total_ops) if work else "-")
+        wall_rows.append(wall_cells)
+        work_rows.append(work_cells)
+
+    parts = [
+        "# Benchmark trajectory",
+        "",
+        "Source files (ordered by label): "
+        + ", ".join(f"`{base}`" for _, base, _ in trajectory),
+        "",
+        "## Wall-time medians (ms)",
+        "",
+        markdown_table(["benchmark"] + labels, wall_rows),
+        "",
+        "## Deterministic work (total counted ops)",
+        "",
+        markdown_table(["benchmark"] + labels, work_rows),
+        "",
+        "Work totals come from `repro.obs.counters` and are a pure "
+        "function of the workload; a change between labels is a real "
+        "workload shift, not machine noise (`repro bench-gate` compares "
+        "the per-counter breakdown exactly).",
+    ]
+    return "\n".join(parts) + "\n"
+
+
+def bench_trend_csv_text(
+    trajectory: Sequence[Tuple[str, str, Dict[str, Any]]],
+) -> str:
+    """Flat CSV of the trajectory (repr floats, one row per benchmark
+    per label): label, benchmark, median/mean/min, rounds, work total."""
+    lines = ["label,benchmark,median_s,mean_s,min_s,rounds,work_total"]
+    for label, _, payload in trajectory:
+        table = payload["benchmarks"]
+        for name in sorted(table):
+            entry = table[name]
+            work = entry.get("work") or {}
+            total_ops = sum(int(work[key]) for key in sorted(work))
+            lines.append(
+                ",".join(
+                    [
+                        label,
+                        name,
+                        repr(float(entry["median_s"])),
+                        repr(float(entry["mean_s"])),
+                        repr(float(entry["min_s"])),
+                        str(int(entry["rounds"])),
+                        str(total_ops) if work else "",
+                    ]
+                )
+            )
+    return "\n".join(lines) + "\n"
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    paths = list(args.files)
+    if not paths:
+        paths = discover_bench_files(args.root)
+    if not paths:
+        print(f"no BENCH_*.json files found under {args.root!r}",
+              file=sys.stderr)
+        return 1
+    trajectory = load_bench_trajectory(paths)
+    out_dir = ensure_analysis_dir()
+    md_text = bench_trend_md_text(trajectory)
+    csv_path = _write_text(
+        os.path.join(out_dir, f"{args.name}_trend.csv"),
+        bench_trend_csv_text(trajectory),
+    )
+    md_path = _write_text(
+        os.path.join(out_dir, f"{args.name}_trend.md"), md_text
+    )
+    print(md_text)
+    print(f"trend CSV: {csv_path}")
+    print(f"trend MD:  {md_path}")
+    return 0
+
+
+# ----------------------------------------------------------------------
 # entry point
 # ----------------------------------------------------------------------
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """The ``repro analyze`` argument parser (table1 / log)."""
+    """The ``repro analyze`` parser (table1 / shootout / log / bench)."""
     from repro.experiments.table1 import _parse_m_values
     from repro.sweep import add_sweep_arguments
 
@@ -717,6 +878,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="output stem under results/analysis/ (default: log file stem)",
     )
     p_log.set_defaults(func=_cmd_log)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="benchmark-trajectory trend table over committed BENCH_*.json",
+    )
+    p_bench.add_argument(
+        "files", nargs="*",
+        help="BENCH_*.json files to roll up (default: discover them "
+        "under --root)",
+    )
+    p_bench.add_argument(
+        "--root", default=".",
+        help="directory scanned for BENCH_*.json when no files are "
+        "given (default: the current directory)",
+    )
+    p_bench.add_argument(
+        "--name", default="bench",
+        help="output stem under results/analysis/ (default bench)",
+    )
+    p_bench.set_defaults(func=_cmd_bench)
 
     return parser
 

@@ -28,6 +28,7 @@ from typing import Callable, Optional
 
 from repro.clocks.adjusted import AdjustedClock
 from repro.clocks.oscillator import HardwareClock
+from repro.obs.counters import count
 
 
 class ClockChain:
@@ -43,14 +44,17 @@ class ClockChain:
 
     def hw_at(self, true_time: float) -> float:
         """Hardware clock reading at true time ``true_time``."""
+        count("clock.hw_at")
         return self.hw.read(true_time)
 
     def adjusted_at(self, true_time: float) -> float:
         """Adjusted clock reading (active segment) at true time ``true_time``."""
+        count("clock.adjusted_at")
         return self.adjusted.read_current(self.hw.read(true_time))
 
     def true_at_hw(self, hw_value: float) -> float:
         """True time at which the hardware clock reads ``hw_value``."""
+        count("clock.true_at_hw")
         return self.hw.true_time_at(hw_value)
 
     def true_at_adjusted(self, value: float) -> float:
@@ -60,6 +64,7 @@ class ClockChain:
         Exact affine inversion: first through the active segment
         ``c = k * hw + b``, then through the oscillator.
         """
+        count("clock.true_at_adjusted")
         hw_value = (value - self.adjusted.b) / self.adjusted.k
         return self.hw.true_time_at(hw_value)
 

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.crypto.hashchain import HashChain, verify_element
 from repro.crypto.primitives import constant_time_eq, hash128_iter, hmac128
+from repro.obs.counters import count
 from repro.obs.events import emit
 
 
@@ -208,6 +209,8 @@ class MuTeslaReceiver:
             cache=state.verified,
         )
         state.hash_operations += cost
+        count("crypto.verify")
+        count("crypto.hash_ops", cost)
         if not ok:
             state.rejected_bad_key += 1
             emit(
@@ -231,6 +234,8 @@ class MuTeslaReceiver:
             buffered = state.pending.pop(interval)
             key_i = hash128_iter(packet.disclosed_key, (j - 1) - interval)
             state.hash_operations += (j - 1) - interval
+            count("crypto.hash_ops", (j - 1) - interval)
+            count("crypto.auth_check")
             expected = hmac128(
                 key_i,
                 buffered.payload + b"|" + str(buffered.interval).encode(),
@@ -259,6 +264,7 @@ class MuTeslaReceiver:
                 )
         # Buffer this packet until its own key is disclosed.
         state.pending[j] = packet
+        count("crypto.defer")
         emit(
             "mutesla_defer",
             t_us=local_time_us,

@@ -63,14 +63,20 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "analyze", "bench-gate", "lint", "trace"],
+        choices=sorted(EXPERIMENTS)
+        + ["all", "analyze", "bench-gate", "lint", "profile", "trace"],
         help="which table/figure to regenerate ('analyze' rolls sweep "
         "output into summary tables with CIs; 'bench-gate' compares a "
         "BENCH_*.json against a baseline; 'lint' runs reprolint, "
-        "the determinism/unit-safety static analysis; 'trace' inspects "
+        "the determinism/unit-safety static analysis; 'profile' runs a "
+        "job under spans + deterministic work counters; 'trace' inspects "
         "event-trace JSONL files)",
     )
     args, passthrough = parser.parse_known_args(argv)
+    if args.experiment == "profile":
+        from repro.obs.profilecli import main as profile_main
+
+        return profile_main(passthrough)
     if args.experiment == "lint":
         from repro.lint.cli import main as lint_main
 

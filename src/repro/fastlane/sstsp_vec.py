@@ -26,6 +26,7 @@ from repro.core.config import SstspConfig
 from repro.fastlane.common import ChurnDriver, VectorState, resolve_window
 from repro.network.churn import ChurnSchedule
 from repro.network.ibss import ScenarioSpec
+from repro.obs.counters import count, work_lane
 from repro.phy.params import SSTSP_BEACON_AIRTIME_SLOTS
 from repro.security.attacks import AttackWindow
 
@@ -235,6 +236,7 @@ class _VectorSstsp:
         contenders = self.state.present & ~self.in_coarse & (self.silent >= cfg.l)
         if self.ref is not None:
             contenders[self.ref] = False
+        count("mac.slot_draws", self.n)
         slots = self.slots_rng.integers(0, cfg.w + 1, size=self.n).astype(np.float64)
         local = nominal + slots * cfg.slot_time_us
         if self.ref is not None and self.state.present[self.ref]:
@@ -296,13 +298,17 @@ class _VectorSstsp:
         delivered = self.state.present.copy()
         delivered[winner] = False
         per = spec.phy.packet_error_rate
+        count("phy.delivery_attempt", int(delivered.sum()))
         if per > 0.0:
             if spec.phy.loss_model == "per_transmission":
+                count("phy.per_draw")
                 if self.channel_rng.random() < per:
                     delivered[:] = False
             else:
+                count("phy.per_draw", n)
                 delivered &= self.channel_rng.random(n) >= per
         jitter = spec.phy.timestamp_jitter_us
+        count("phy.ts_jitter_draw", n)
         est = timestamp + latency + self.channel_rng.uniform(-jitter, jitter, size=n)
 
         # uTESLA interval safety check on each receiver's adjusted clock.
@@ -409,4 +415,5 @@ def run_sstsp_vectorized(
     ``keep_values`` retains the per-node clock matrix in the trace (used
     by the application-layer evaluations in :mod:`repro.apps`).
     """
-    return _VectorSstsp(spec, config, keep_values=keep_values).run()
+    with work_lane("fastlane/sstsp"):
+        return _VectorSstsp(spec, config, keep_values=keep_values).run()

@@ -30,6 +30,7 @@ from repro.analysis.metrics import SyncTrace, TraceRecorder
 from repro.fastlane.common import ChurnDriver, VectorState, resolve_window
 from repro.network.churn import ChurnSchedule
 from repro.network.ibss import ScenarioSpec
+from repro.obs.counters import count, work_lane
 from repro.phy.params import TSF_BEACON_AIRTIME_SLOTS
 from repro.security.attacks import AttackWindow
 
@@ -52,6 +53,13 @@ def run_tsf_vectorized(
     ``keep_values`` retains the per-node clock matrix in the trace (used
     by the application-layer evaluations in :mod:`repro.apps`).
     """
+    with work_lane("fastlane/tsf"):
+        return _run_tsf_vectorized(spec, w, keep_values)
+
+
+def _run_tsf_vectorized(
+    spec: ScenarioSpec, w: int, keep_values: bool
+) -> VectorTsfResult:
     has_attacker = spec.attacker is not None
     state = VectorState.from_spec(spec, extra_nodes=1 if has_attacker else 0)
     n = state.n
@@ -100,6 +108,7 @@ def run_tsf_vectorized(
         # Scheduled transmission instants on the true-time axis: the node's
         # timer reads (period * BP + slot * aSlotTime) at
         # (local - adj - offset) / rate.
+        count("mac.slot_draws", n)
         slots = slots_rng.integers(0, w + 1, size=n).astype(np.float64)
         contend = present.copy()
         local_targets = period * bp + slots * slot_time
@@ -127,6 +136,7 @@ def run_tsf_vectorized(
             arrival = tx_start + latency
             state.hw_at(arrival, out=hw_buf)
             timers = hw_buf + adj
+            count("phy.ts_jitter_draw", n)
             est = (
                 timestamp
                 + latency
@@ -134,11 +144,14 @@ def run_tsf_vectorized(
             )
             receive = present.copy()
             receive[winner] = False
+            count("phy.delivery_attempt", int(receive.sum()))
             if per > 0.0:
                 if spec.phy.loss_model == "per_transmission":
+                    count("phy.per_draw")
                     if channel_rng.random() < per:
                         receive[:] = False
                 else:
+                    count("phy.per_draw", n)
                     receive &= channel_rng.random(n) >= per
             if attack_active and winner == attacker_idx:
                 # the attacker does not resynchronise to anyone

@@ -33,6 +33,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Ty
 
 import numpy as np
 
+from repro.obs.counters import count
 from repro.obs.events import emit
 
 T = TypeVar("T")
@@ -117,6 +118,8 @@ def resolve_contention(
     heap: List[Tuple[float, int, int]] = []
     for station, t in candidates:
         heapq.heappush(heap, (float(t), next(counter), station))
+    count("mac.contention_round")
+    count("mac.contention_candidates", len(candidates))
 
     result = ContentionResult()
     cur_start: Optional[float] = None
@@ -231,6 +234,8 @@ def resolve_neighborhood(
     """
     if airtime_us <= 0:
         raise ValueError("airtime_us must be > 0")
+    count("mac.neighborhood_round")
+    count("mac.contention_candidates", len(candidates))
     result = NeighborhoodResult()
     busy_until: Dict[int, float] = {}
     for station, start in sorted(candidates, key=lambda c: c[1]):
@@ -265,6 +270,7 @@ def draw_slots(
         raise ValueError(f"w must be >= 0, got {w}")
     if not stations:
         return {}
+    count("mac.slot_draws", len(stations))
     slots = rng.integers(0, w + 1, size=len(stations))
     return {station: int(slot) for station, slot in zip(stations, slots)}
 

@@ -66,7 +66,9 @@ from repro.network.churn import ChurnApplier, ChurnEvent, ChurnSchedule
 from repro.network.ibss import ScenarioSpec
 from repro.network.node import Node
 from repro.network.runner import NetworkRunner, RunnerParams
+from repro.obs.counters import work_lane
 from repro.obs.events import emit
+from repro.obs.profile import span
 from repro.phy.channel import SpatialBroadcastChannel
 from repro.phy.params import PhyParams
 from repro.protocols.multihop_base import (
@@ -317,8 +319,9 @@ class MultiHopRunner:
             if inner is not None:
                 return self._run_degenerate(inner)
         self._churn_applier = ChurnApplier(self._merged_churn())
-        for period in range(1, spec.periods + 1):
-            self._run_period(period)
+        with work_lane(f"multihop/{self.protocol_name}"):
+            for period in range(1, spec.periods + 1):
+                self._run_period(period)
         per_hop = {
             hop: float(np.median(values))
             for hop, values in sorted(self._per_hop_errors.items())
@@ -337,24 +340,35 @@ class MultiHopRunner:
         )
 
     def _run_period(self, period: int) -> None:
-        self._apply_churn(period)
-        if self.injector is not None:
-            self.injector.on_period_start(period)
-            stalled = self.injector.stalled_ids(period)
-            partition = self.injector.partition_groups(period)
-        else:
-            stalled: frozenset = frozenset()
-            partition = None
-        # A crashed root orphans the tree exactly like a departed one.
-        if self.root >= 0 and not self._by_id[self.root].present:
-            self.root = -1
-        transmissions = self._collect_transmissions(period, stalled, partition)
-        receptions = self._resolve_receptions(transmissions, stalled, partition)
-        accepted = self._process_receptions(period, receptions)
-        self._end_period(period, accepted, stalled)
-        self._sample_metrics(period)
-        if self.injector is not None:
-            self.injector.on_period_end(period)
+        with span("multihop.period"):
+            with span("multihop.churn"):
+                self._apply_churn(period)
+            if self.injector is not None:
+                self.injector.on_period_start(period)
+                stalled = self.injector.stalled_ids(period)
+                partition = self.injector.partition_groups(period)
+            else:
+                stalled: frozenset = frozenset()
+                partition = None
+            # A crashed root orphans the tree exactly like a departed one.
+            if self.root >= 0 and not self._by_id[self.root].present:
+                self.root = -1
+            with span("multihop.collect"):
+                transmissions = self._collect_transmissions(
+                    period, stalled, partition
+                )
+            with span("multihop.receptions"):
+                receptions = self._resolve_receptions(
+                    transmissions, stalled, partition
+                )
+            with span("multihop.process"):
+                accepted = self._process_receptions(period, receptions)
+            with span("multihop.end_period"):
+                self._end_period(period, accepted, stalled)
+            with span("multihop.sample"):
+                self._sample_metrics(period)
+            if self.injector is not None:
+                self.injector.on_period_end(period)
 
     # ------------------------------------------------------------------
     # Degenerate (complete-graph) delegation

@@ -35,7 +35,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 from repro.analysis.metrics import TraceRecorder, SyncTrace
 from repro.mac.contention import ContentionResult, partition_domains, resolve_contention
+from repro.obs.counters import work_lane
 from repro.obs.events import emit
+from repro.obs.profile import span
 from repro.network.churn import ChurnApplier, ChurnSchedule
 from repro.network.node import Node
 from repro.phy.channel import BroadcastChannel
@@ -151,9 +153,11 @@ class NetworkRunner:
         """Simulate all periods and return the result bundle."""
         sim = Simulator()
         bp = self.params.beacon_period_us
-        for period in range(1, self.params.periods + 1):
-            sim.schedule(period * bp, self._run_period, period)
-        sim.run()
+        proto = self.nodes[0].protocol.protocol_name if self.nodes else "none"
+        with work_lane(f"singlehop/{proto}"):
+            for period in range(1, self.params.periods + 1):
+                sim.schedule(period * bp, self._run_period, period)
+            sim.run()
         return RunResult(
             trace=self.recorder.finalize(),
             nodes=self.nodes,
@@ -178,8 +182,13 @@ class NetworkRunner:
     # ------------------------------------------------------------------
 
     def _run_period(self, period: int) -> None:
+        with span("singlehop.period"):
+            self._period_body(period)
+
+    def _period_body(self, period: int) -> None:
         bp = self.params.beacon_period_us
-        self._apply_churn(period)
+        with span("singlehop.churn"):
+            self._apply_churn(period)
         if self.injector is not None:
             self.injector.on_period_start(period)
             stalled = self.injector.stalled_ids(period)
@@ -219,9 +228,10 @@ class NetworkRunner:
         for group_candidates, members in domains:
             if group_candidates:
                 self._windows += 1
-                result = resolve_contention(
-                    group_candidates, airtime, self.phy.cca_us
-                )
+                with span("singlehop.contention"):
+                    result = resolve_contention(
+                        group_candidates, airtime, self.phy.cca_us
+                    )
             else:
                 result = ContentionResult()
 
@@ -248,9 +258,10 @@ class NetworkRunner:
                 proto=sender.protocol.protocol_name,
             )
             pool = [nid for nid in members if nid != winner_id]
-            delivered = self.channel.broadcast(
-                winner_id, pool, success.start_us, frame.size_bytes
-            )
+            with span("singlehop.broadcast"):
+                delivered = self.channel.broadcast(
+                    winner_id, pool, success.start_us, frame.size_bytes
+                )
             arrival = success.end_us + self.phy.propagation_delay_us
             latency = (success.end_us - success.start_us) + self.phy.propagation_delay_us
             for rid in delivered:

@@ -6,12 +6,27 @@ Three concerns, three modules:
   emits protocol events onto (strict no-op when disabled);
 * :mod:`repro.obs.registry` — counters / gauges / histogram summaries,
   per-run with per-sweep roll-up;
-* :mod:`repro.obs.profile` — opt-in wall-clock section timers, confined
-  to the orchestration layer.
+* :mod:`repro.obs.profile` — opt-in wall-clock section timers and
+  hierarchical spans (chrome-trace export), the one module allowed to
+  read the host clock;
+* :mod:`repro.obs.counters` — deterministic work counters: no clock, no
+  randomness, byte-identical tallies on every machine (the bench gate's
+  zero-tolerance work metrics).
 
 See ``docs/observability.md`` for the event catalog and usage.
 """
 
+from repro.obs.counters import (
+    WorkCounters,
+    count,
+    count_work,
+    counting_enabled,
+    counts_to_metrics,
+    current_counters,
+    diff_counts,
+    merge_counts,
+    work_lane,
+)
 from repro.obs.events import (
     EVENT_CATALOG,
     TRACE_SCHEMA_VERSION,
@@ -24,7 +39,15 @@ from repro.obs.events import (
     tracing_enabled,
 )
 from repro.obs.events_schema import EVENT_SCHEMAS, EventSpec, validate_record
-from repro.obs.profile import NULL_PROFILER, NullProfiler, Profiler
+from repro.obs.profile import (
+    NULL_PROFILER,
+    NullProfiler,
+    Profiler,
+    SpanProfiler,
+    profile_spans,
+    span,
+    span_profiling_enabled,
+)
 from repro.obs.registry import HistogramSummary, MetricsRegistry, merge_snapshots
 
 __all__ = [
@@ -46,4 +69,17 @@ __all__ = [
     "NULL_PROFILER",
     "NullProfiler",
     "Profiler",
+    "SpanProfiler",
+    "profile_spans",
+    "span",
+    "span_profiling_enabled",
+    "WorkCounters",
+    "count",
+    "count_work",
+    "counting_enabled",
+    "counts_to_metrics",
+    "current_counters",
+    "diff_counts",
+    "merge_counts",
+    "work_lane",
 ]

@@ -30,8 +30,9 @@ secure-beacon scenarios is dominated by the crypto backend) and ``log``
 
 from __future__ import annotations
 
+import json
 import time
-from typing import Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 
 class _Section:
@@ -108,11 +109,225 @@ class Profiler:
             return "no profiled sections"
         parts: List[str] = []
         for name, seconds in sorted(totals.items(), key=lambda kv: -kv[1]):
-            if wall_s:
+            if wall_s is not None and wall_s > 0.0:
                 parts.append(f"{name} {seconds:.2f}s ({100.0 * seconds / wall_s:.0f}%)")
             else:
                 parts.append(f"{name} {seconds:.2f}s")
         return ", ".join(parts)
+
+
+class _SpanSection:
+    """One nested span; used as a context manager."""
+
+    __slots__ = ("_profiler", "_name")
+
+    def __init__(self, profiler: "SpanProfiler", name: str) -> None:
+        self._profiler = profiler
+        self._name = name
+
+    def __enter__(self) -> "_SpanSection":
+        self._profiler.enter_span(self._name)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._profiler.exit_span()
+
+
+class SpanProfiler(Profiler):
+    """Hierarchical spans with parent/child self-time attribution.
+
+    Extends the flat phase accumulator with a span *stack*: nested
+    :meth:`span` sections aggregate per **path** (``engine`` →
+    ``multihop.period`` → ``multihop.receptions``), each node carrying
+    call count, total time and *self* time (total minus child spans), so
+    a hot leaf is visible even when its parent dominates the totals.
+    Completed spans are also kept as a timeline for the Chrome
+    trace-event exporter (:meth:`chrome_trace`), loadable in Perfetto,
+    chrome://tracing and speedscope.
+
+    ``clock`` defaults to ``time.perf_counter`` — this module's D002
+    carve-out — and is injectable so tests can drive spans with a fake
+    clock and assert exact attributions.
+
+    :meth:`section` delegates to :meth:`span` and every closed span also
+    feeds the flat :meth:`Profiler.add` accumulator under its leaf name,
+    so orchestrator-level consumers (``totals()``/``format_summary``)
+    keep working unchanged on a span profiler.
+    """
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        super().__init__()
+        self._clock: Callable[[], float] = (
+            clock if clock is not None else time.perf_counter
+        )
+        #: Open spans: ``[name, start, child_time]`` frames.
+        self._stack: List[List[Any]] = []
+        self._origin: Optional[float] = None
+        #: path tuple -> ``[count, total, self_time]`` (seconds).
+        self._nodes: Dict[Tuple[str, ...], List[Any]] = {}
+        #: Completed spans: ``(path, start_rel_s, dur_s)`` in close order.
+        self._spans: List[Tuple[Tuple[str, ...], float, float]] = []
+
+    def span(self, name: str) -> _SpanSection:
+        """A context manager opening one nested ``name`` span."""
+        return _SpanSection(self, name)
+
+    def section(self, name: str) -> _SpanSection:  # type: ignore[override]
+        """Sections on a span profiler are spans (nesting-aware)."""
+        return self.span(name)
+
+    def enter_span(self, name: str) -> None:
+        """Open a span (prefer the :meth:`span` context manager)."""
+        now = self._clock()
+        if self._origin is None:
+            self._origin = now
+        self._stack.append([name, now, 0.0])
+
+    def exit_span(self) -> None:
+        """Close the innermost open span and attribute its time."""
+        now = self._clock()
+        name, start, child_time = self._stack.pop()
+        dur_s = now - start
+        path = tuple(frame[0] for frame in self._stack) + (name,)
+        node = self._nodes.get(path)
+        if node is None:
+            node = [0, 0.0, 0.0]
+            self._nodes[path] = node
+        node[0] += 1
+        node[1] += dur_s
+        node[2] += dur_s - child_time
+        if self._stack:
+            self._stack[-1][2] += dur_s
+        origin = self._origin if self._origin is not None else start
+        self._spans.append((path, start - origin, dur_s))
+        self.add(name, dur_s)
+
+    # -- reporting -----------------------------------------------------
+
+    def span_tree(self) -> List[Dict[str, Any]]:
+        """The aggregated span forest, children key-sorted.
+
+        Each node: ``{"name", "count", "total_s", "self_s", "children"}``
+        with seconds rounded to 1 µs. Only *closed* spans appear.
+        """
+        roots: List[Dict[str, Any]] = []
+        index: Dict[Tuple[str, ...], Dict[str, Any]] = {}
+        for path in sorted(self._nodes):
+            count, total, self_time = self._nodes[path]
+            node: Dict[str, Any] = {
+                "name": path[-1],
+                "count": count,
+                "total_s": round(total, 6),
+                "self_s": round(self_time, 6),
+                "children": [],
+            }
+            index[path] = node
+            parent = index.get(path[:-1])
+            if parent is not None:
+                parent["children"].append(node)
+            else:
+                roots.append(node)
+        return roots
+
+    def format_tree(self) -> str:
+        """Indented text rendering of :meth:`span_tree`."""
+        lines: List[str] = []
+
+        def walk(node: Dict[str, Any], depth: int) -> None:
+            lines.append(
+                f"{'  ' * depth}{node['name']}  "
+                f"total {node['total_s']:.6f}s  self {node['self_s']:.6f}s  "
+                f"x{node['count']}"
+            )
+            for child in node["children"]:
+                walk(child, depth + 1)
+
+        for root in self.span_tree():
+            walk(root, 0)
+        if not lines:
+            return "no spans recorded"
+        return "\n".join(lines)
+
+    def chrome_trace(self) -> Dict[str, Any]:
+        """The run as Chrome trace-event JSON (the ``X`` complete-event
+        form): one event per closed span, timestamps/durations in
+        microseconds relative to the first span's start. Load the file
+        in Perfetto (ui.perfetto.dev), chrome://tracing or speedscope.
+        """
+        events: List[Dict[str, Any]] = []
+        for path, start_rel_s, dur_s in self._spans:
+            events.append(
+                {
+                    "name": path[-1],
+                    "cat": "/".join(path[:-1]) if len(path) > 1 else "root",
+                    "ph": "X",
+                    "ts": round(start_rel_s * 1e6, 3),
+                    "dur": round(dur_s * 1e6, 3),
+                    "pid": 0,
+                    "tid": 0,
+                    "args": {"path": "/".join(path)},
+                }
+            )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write_chrome_trace(self, path: str) -> str:
+        """Serialize :meth:`chrome_trace` to ``path``; returns it."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.chrome_trace(), fh, sort_keys=True, indent=1)
+            fh.write("\n")
+        return path
+
+
+#: The installed span profiler driving :func:`span`; None disables it.
+_SPAN_PROFILER: Optional[SpanProfiler] = None
+
+
+def span(name: str) -> "_SpanSection | _NullSection":
+    """A span on the installed profiler (free no-op section when off).
+
+    The kernel-side hook: runners open phase spans with ``with
+    span("multihop.receptions"):`` while never touching a clock
+    themselves — only this module reads ``time.perf_counter``, keeping
+    the reprolint D002 carve-out set unchanged.
+    """
+    profiler = _SPAN_PROFILER
+    if profiler is not None:
+        return profiler.span(name)
+    return _NULL_SECTION
+
+
+def span_profiling_enabled() -> bool:
+    """Whether a span profiler is installed."""
+    return _SPAN_PROFILER is not None
+
+
+class profile_spans:
+    """Context manager installing a :class:`SpanProfiler` for :func:`span`.
+
+    ::
+
+        with profile_spans() as profiler:
+            run_multihop(spec)
+        profiler.write_chrome_trace("trace.json")
+
+    The previous profiler (normally None) is restored on exit,
+    exceptions included. Pass an existing profiler to also capture
+    orchestration-side sections on the same timeline.
+    """
+
+    def __init__(self, profiler: Optional[SpanProfiler] = None) -> None:
+        self.profiler = profiler if profiler is not None else SpanProfiler()
+        self._previous: Optional[SpanProfiler] = None
+
+    def __enter__(self) -> SpanProfiler:
+        global _SPAN_PROFILER
+        self._previous = _SPAN_PROFILER
+        _SPAN_PROFILER = self.profiler
+        return self.profiler
+
+    def __exit__(self, *exc_info: object) -> None:
+        global _SPAN_PROFILER
+        _SPAN_PROFILER = self._previous
 
 
 class NullProfiler(Profiler):

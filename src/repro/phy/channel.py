@@ -39,6 +39,7 @@ from typing import (
 
 import numpy as np
 
+from repro.obs.counters import count
 from repro.phy.params import PhyParams
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -126,6 +127,7 @@ class BroadcastChannel:
         """Advance the two-state loss chain once and return the loss
         probability for this transmission."""
         phy = self.phy
+        count("phy.ge_step")
         if self._ge_bad:
             if self._rng.random() < phy.ge_p_bad_to_good:
                 self._ge_bad = False
@@ -153,6 +155,8 @@ class BroadcastChannel:
         self.stats.transmissions += 1
         self.stats.bytes_on_air += size_bytes
         receivers = [r for r in receivers if r != sender]
+        count("phy.broadcast")
+        count("phy.delivery_attempt", len(receivers))
         if not receivers:
             return []
         if self.is_jammed(true_time):
@@ -171,11 +175,13 @@ class BroadcastChannel:
             self.stats.deliveries += len(receivers)
             return list(receivers)
         if whole_frame:
+            count("phy.per_draw")
             if self._rng.random() < per:
                 self.stats.per_drops += len(receivers)
                 return []
             self.stats.deliveries += len(receivers)
             return list(receivers)
+        count("phy.per_draw", len(receivers))
         lost = self._rng.random(len(receivers)) < per
         delivered = [r for r, drop in zip(receivers, lost) if not drop]
         self.stats.per_drops += len(receivers) - len(delivered)
@@ -188,6 +194,7 @@ class BroadcastChannel:
         Uniform in ``+- timestamp_jitter_us``; this is the source of the
         paper's ``epsilon`` bound on ``|ts_ref - t_ref|``.
         """
+        count("phy.ts_jitter_draw")
         j = self.phy.timestamp_jitter_us
         if j == 0.0:
             return 0.0
@@ -323,6 +330,7 @@ class SpatialBroadcastChannel(BroadcastChannel):
         """
         if airtime_us <= 0:
             raise ValueError("airtime_us must be > 0")
+        count("phy.window")
         self.stats.transmissions += len(transmissions)
         self.stats.bytes_on_air += size_bytes * len(transmissions)
 
@@ -338,9 +346,11 @@ class SpatialBroadcastChannel(BroadcastChannel):
                     per = self._gilbert_elliott_per()
                 else:
                     per = self.phy.packet_error_rate
-                frame_delivered[sender] = (
-                    True if per <= 0.0 else bool(self._rng.random() >= per)
-                )
+                if per <= 0.0:
+                    frame_delivered[sender] = True
+                else:
+                    count("phy.per_draw")
+                    frame_delivered[sender] = bool(self._rng.random() >= per)
 
         delivery = WindowDelivery()
         static_per = self.phy.packet_error_rate
@@ -366,22 +376,29 @@ class SpatialBroadcastChannel(BroadcastChannel):
                 group = heard[index:j]
                 index = j
                 if len(group) > 1:
+                    count("phy.collision_group")
                     delivery.collisions += 1
                     self.stats.collisions += 1
                     continue
                 sender, start = group[0]
+                count("phy.delivery_attempt")
                 if self._jammed_for(receiver, start):
                     self.stats.jammed_drops += 1
                     continue
                 link = self._link_per.get((sender, receiver))
                 if link is not None:
-                    ok = link <= 0.0 or bool(self._rng.random() >= link)
+                    if link <= 0.0:
+                        ok = True
+                    else:
+                        count("phy.per_draw")
+                        ok = bool(self._rng.random() >= link)
                 elif frame_delivered is not None:
                     ok = frame_delivered[sender]
+                elif static_per <= 0.0:
+                    ok = True
                 else:
-                    ok = static_per <= 0.0 or bool(
-                        self._rng.random() >= static_per
-                    )
+                    count("phy.per_draw")
+                    ok = bool(self._rng.random() >= static_per)
                 if ok:
                     self.stats.deliveries += 1
                     decoded.append(sender)

@@ -14,6 +14,8 @@ import itertools
 import math
 from typing import Any, Callable, List, Optional
 
+from repro.obs.counters import count
+
 
 class SimulationError(RuntimeError):
     """Raised for invalid simulator operations (e.g. scheduling in the past)."""
@@ -109,6 +111,7 @@ class Simulator:
             )
         event = Event(float(time), next(self._seq), callback, args)
         heapq.heappush(self._heap, event)
+        count("engine.heap_push")
         return event
 
     def schedule_in(
@@ -135,13 +138,16 @@ class Simulator:
                 event = self._heap[0]
                 if event.cancelled:
                     heapq.heappop(self._heap)
+                    count("engine.heap_pop")
                     continue
                 if until is not None and event.time > until:
                     break
                 heapq.heappop(self._heap)
+                count("engine.heap_pop")
                 self._now = event.time
                 event.callback(*event.args)
                 self._processed += 1
+                count("engine.dispatch")
         finally:
             self._running = False
         if until is not None and until > self._now:
@@ -151,11 +157,13 @@ class Simulator:
         """Run the single next pending event. Returns False if none remain."""
         while self._heap:
             event = heapq.heappop(self._heap)
+            count("engine.heap_pop")
             if event.cancelled:
                 continue
             self._now = event.time
             event.callback(*event.args)
             self._processed += 1
+            count("engine.dispatch")
             return True
         return False
 

@@ -51,6 +51,7 @@ from typing import (
     Tuple,
 )
 
+from repro.obs.counters import count_work, counts_to_metrics
 from repro.obs.events import observe_run
 from repro.obs.profile import NULL_PROFILER, Profiler
 from repro.obs.registry import MetricsRegistry, merge_snapshots
@@ -388,11 +389,17 @@ def _execute_observed(
     success."""
     path = _job_trace_path(trace_dir, spec)
     with observe_run(path, keep_events=False) as observer:
-        value = execute_job(spec, attempt=attempt, inject=inject)
+        with count_work() as work:
+            value = execute_job(spec, attempt=attempt, inject=inject)
+    metrics = observer.registry.snapshot()
+    # Work counters ride in the metrics snapshot under ``work.``-prefixed
+    # counter keys, so merge_snapshots rolls them into the sweep_end
+    # aggregate alongside the event counters with no schema change.
+    metrics["counters"].update(counts_to_metrics(work.snapshot()))
     payload = {
         "trace_path": path,
         "events": observer.event_count,
-        "metrics": observer.registry.snapshot(),
+        "metrics": metrics,
     }
     return value, payload
 

@@ -151,3 +151,63 @@ class TestHelpers:
     def test_cli_requires_subcommand(self):
         with pytest.raises(SystemExit):
             cli.main([])
+
+
+class TestBenchTrend:
+    """``repro analyze bench``: the BENCH_*.json trajectory roll-up."""
+
+    @staticmethod
+    def _write_bench(root, label, medians, work=None):
+        from repro.analysis.benchgate import bench_record, write_bench_json
+
+        records = [
+            bench_record(
+                fullname=name, median_s=median, mean_s=median,
+                stddev_s=0.0, min_s=median, rounds=1, iterations=1,
+                work=work,
+            )
+            for name, median in medians.items()
+        ]
+        write_bench_json(
+            os.path.join(root, f"BENCH_{label}.json"), label, records
+        )
+
+    def test_trend_table_orders_labels_numerically(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("SSTSP_RESULTS_DIR", str(tmp_path / "r"))
+        root = str(tmp_path / "repo")
+        os.makedirs(root)
+        # label 10 sorts after 9 numerically even though "10" < "9"
+        self._write_bench(root, "9", {"bench::a": 0.010})
+        self._write_bench(
+            root, "10", {"bench::a": 0.012, "bench::b": 0.002},
+            work={"fastlane/sstsp/mac.slot_draws": 2500},
+        )
+        assert cli.main(["bench", "--root", root]) == 0
+        out = capsys.readouterr().out
+        assert "| benchmark | 9 | 10 |" in out
+        md_path = tmp_path / "r" / "analysis" / "bench_trend.md"
+        csv_path = tmp_path / "r" / "analysis" / "bench_trend.csv"
+        first_md = read_bytes(str(md_path))
+        first_csv = read_bytes(str(csv_path))
+        assert b"2500" in first_md  # the work total column
+        assert b"bench::b | - |" in first_md  # absent in the older label
+        # byte-stable on re-run
+        assert cli.main(["bench", "--root", root]) == 0
+        assert read_bytes(str(md_path)) == first_md
+        assert read_bytes(str(csv_path)) == first_csv
+
+    def test_explicit_files_and_empty_root(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("SSTSP_RESULTS_DIR", str(tmp_path / "r"))
+        empty = str(tmp_path / "empty")
+        os.makedirs(empty)
+        assert cli.main(["bench", "--root", empty]) == 1
+        root = str(tmp_path / "repo")
+        os.makedirs(root)
+        self._write_bench(root, "7", {"bench::a": 0.010})
+        path = os.path.join(root, "BENCH_7.json")
+        assert cli.main(["bench", path, "--name", "named"]) == 0
+        assert (tmp_path / "r" / "analysis" / "named_trend.md").exists()

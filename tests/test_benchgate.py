@@ -2,9 +2,10 @@
 
 Covers the BENCH_*.json format (byte-stable write, schema-versioned
 load), the comparison semantics (noise band, noise floor, missing/new,
-accuracy drift), the CLI exit codes, and — the acceptance criterion —
-that the committed ``BENCH_8.json`` baseline passes a self-gate while a
-synthetic 2x slowdown of it fails.
+accuracy drift, exact work-counter gating), the CLI exit codes, and —
+the acceptance criterion — that the committed ``BENCH_10.json`` baseline
+passes a self-gate while a synthetic 2x slowdown or an injected
+work-counter regression of it fails.
 """
 
 from __future__ import annotations
@@ -26,10 +27,10 @@ from repro.analysis.benchgate import (
 )
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-BASELINE = os.path.join(REPO_ROOT, "BENCH_8.json")
+BASELINE = os.path.join(REPO_ROOT, "BENCH_10.json")
 
 
-def record(name: str, median: float, extra=None):
+def record(name: str, median: float, extra=None, work=None):
     return bench_record(
         fullname=name,
         median_s=median,
@@ -40,6 +41,7 @@ def record(name: str, median: float, extra=None):
         iterations=1,
         group="g",
         extra_info=extra or {},
+        work=work,
     )
 
 
@@ -150,6 +152,46 @@ class TestCompare:
         report = GateReport(regressions=["x"])
         assert report.failed(strict=False, extra_tolerance=None)
 
+    def test_identical_work_is_clean_and_counted(self):
+        base = payload(record("a", 0.05, work={"engine.dispatch": 100}))
+        report = compare_bench(copy.deepcopy(base), base)
+        assert report.work_compared == 1
+        assert report.work_drift == []
+        assert not report.failed(strict=True, extra_tolerance=0.0)
+
+    def test_work_drift_fails_with_zero_tolerance(self):
+        # One extra counted op — far inside any wall-time noise band —
+        # must fail: the counters are machine-independent.
+        base = payload(record("a", 0.05, work={"engine.dispatch": 100}))
+        cur = payload(record("a", 0.05, work={"engine.dispatch": 101}))
+        report = compare_bench(cur, base, tolerance=10.0)
+        assert not report.regressions
+        assert report.work_drift == ["a:engine.dispatch"]
+        assert report.failed(strict=False, extra_tolerance=None)
+        assert not report.failed(
+            strict=False, extra_tolerance=None, gate_work=False
+        )
+
+    def test_work_counter_appearing_or_vanishing_is_drift(self):
+        base = payload(record("a", 0.05, work={"engine.dispatch": 100}))
+        cur = payload(record(
+            "a", 0.05, work={"engine.dispatch": 100, "phy.per_draw": 7}
+        ))
+        report = compare_bench(cur, base)
+        assert report.work_drift == ["a:phy.per_draw"]
+        assert compare_bench(base, cur).work_drift == ["a:phy.per_draw"]
+
+    def test_baselines_without_work_skip_the_work_gate(self):
+        # Pre-counter baselines (and benches that don't measure work)
+        # must not fail the gate just because the field is empty.
+        old = payload(record("a", 0.05))
+        new = payload(record("a", 0.05, work={"engine.dispatch": 100}))
+        for cur, base in ((new, old), (old, new), (old, copy.deepcopy(old))):
+            report = compare_bench(cur, base)
+            assert report.work_compared == 0
+            assert report.work_drift == []
+            assert not report.failed(strict=True, extra_tolerance=None)
+
 
 class TestCli:
     def test_exit_codes(self, tmp_path, capsys):
@@ -166,13 +208,31 @@ class TestCli:
         assert "REGRESSED" in captured.out
         assert "FAIL" in captured.err
 
+    def test_no_work_gate_flag_downgrades_work_drift(self, tmp_path, capsys):
+        base_path = str(tmp_path / "base.json")
+        drift_path = str(tmp_path / "drift.json")
+        write_bench_json(
+            base_path, "base", [record("a", 0.05, work={"ops": 10})]
+        )
+        write_bench_json(
+            drift_path, "drift", [record("a", 0.05, work={"ops": 11})]
+        )
+        assert main([drift_path, "--baseline", base_path]) == 1
+        captured = capsys.readouterr()
+        assert "WORK" in captured.out
+        assert "1 work drift(s)" in captured.out
+        assert main([
+            drift_path, "--baseline", base_path, "--no-work-gate",
+        ]) == 0
+        assert "WORK" in capsys.readouterr().out
+
 
 class TestCommittedBaseline:
-    """Acceptance: the repo's own BENCH_8.json gates correctly."""
+    """Acceptance: the repo's own BENCH_10.json gates correctly."""
 
     def test_baseline_exists_and_loads(self):
         payload_ = load_bench_json(BASELINE)
-        assert payload_["label"] == "8"
+        assert payload_["label"] == "10"
         assert payload_["benchmarks"], "baseline must not be empty"
         assert (
             "benchmarks/bench_shootout.py::test_shootout_suite"
@@ -185,6 +245,12 @@ class TestCommittedBaseline:
             if rec["median_s"] >= 1e-3
         ]
         assert gateable
+        # The baseline must carry deterministic work counters so the
+        # zero-tolerance work gate actually has something to compare.
+        with_work = [
+            rec for rec in payload_["benchmarks"].values() if rec.get("work")
+        ]
+        assert with_work, "baseline carries no work counters"
 
     def test_self_gate_passes(self, tmp_path, capsys):
         assert main([BASELINE, "--baseline", BASELINE, "--strict"]) == 0
@@ -199,3 +265,32 @@ class TestCommittedBaseline:
         assert main([
             str(slow_path), "--baseline", BASELINE, "--tolerance", "0.5",
         ]) == 1
+
+    def test_injected_work_regression_fails(self, tmp_path, capsys):
+        """Acceptance: +1 counted op on one benchmark fails the gate
+        even with a wall-time tolerance wide enough to hide anything."""
+        payload_ = load_bench_json(BASELINE)
+        drifted = copy.deepcopy(payload_)
+        bumped = False
+        for rec in sorted(
+            drifted["benchmarks"], key=lambda name: name
+        ):
+            work = drifted["benchmarks"][rec].get("work") or {}
+            for key in sorted(work):
+                work[key] += 1
+                bumped = True
+                break
+            if bumped:
+                break
+        assert bumped, "baseline carries no work counters to perturb"
+        drift_path = tmp_path / "BENCH_drift.json"
+        drift_path.write_text(json.dumps(drifted))
+        assert main([
+            str(drift_path), "--baseline", BASELINE, "--tolerance", "10.0",
+        ]) == 1
+        captured = capsys.readouterr()
+        assert "WORK" in captured.out
+        assert main([
+            str(drift_path), "--baseline", BASELINE, "--tolerance", "10.0",
+            "--no-work-gate",
+        ]) == 0
